@@ -1,0 +1,88 @@
+//! Baseline query caches PocketSearch is compared against.
+//!
+//! The paper's comparisons are implicit but important: §8 argues that
+//! browser-cache substring matching "only works for a portion of the
+//! navigational queries", and the volume-ranked community + personalization
+//! admission of §5.1 is what distinguishes PocketSearch from generic
+//! recency/frequency caches. This crate makes those comparators concrete:
+//!
+//! * [`LruQueryCache`] — classic least-recently-used cache over queries.
+//! * [`LfuQueryCache`] — least-frequently-used with LRU tie-breaking.
+//! * [`BrowserSubstringCache`] — the smartphone browser behaviour: match
+//!   the typed prefix against previously visited URLs.
+//! * [`ServerOnly`] — no cache at all; every query rides the radio.
+//!
+//! All baselines implement [`QueryCache`], the interface the replay
+//! harness drives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod browser;
+pub mod lfu;
+pub mod lru;
+
+pub use browser::BrowserSubstringCache;
+pub use lfu::LfuQueryCache;
+pub use lru::LruQueryCache;
+
+/// One replayed query event, carrying both the hash-space identifiers the
+/// structured caches use and the raw strings the browser baseline needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheRequest<'a> {
+    /// Stable hash of the query string.
+    pub query_hash: u64,
+    /// Stable hash of the clicked result URL.
+    pub result_hash: u64,
+    /// The raw query text.
+    pub query_text: &'a str,
+    /// The clicked result URL.
+    pub url: &'a str,
+}
+
+/// A replayable query cache.
+pub trait QueryCache {
+    /// Serves a query; returns whether it hit.
+    fn lookup(&mut self, request: &CacheRequest<'_>) -> bool;
+
+    /// Records the user's click after the query was served (hit or miss).
+    fn record_click(&mut self, request: &CacheRequest<'_>);
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The no-cache comparator: every query goes to the radio.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerOnly;
+
+impl QueryCache for ServerOnly {
+    fn lookup(&mut self, _request: &CacheRequest<'_>) -> bool {
+        false
+    }
+
+    fn record_click(&mut self, _request: &CacheRequest<'_>) {}
+
+    fn name(&self) -> &'static str {
+        "server-only"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_only_never_hits() {
+        let mut c = ServerOnly;
+        let req = CacheRequest {
+            query_hash: 1,
+            result_hash: 2,
+            query_text: "youtube",
+            url: "www.youtube.com",
+        };
+        c.record_click(&req);
+        assert!(!c.lookup(&req));
+        assert_eq!(c.name(), "server-only");
+    }
+}

@@ -1,0 +1,158 @@
+//! Least-recently-used query cache.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::{CacheRequest, QueryCache};
+
+/// An LRU cache over query hashes with a fixed pair capacity.
+///
+/// Used as the admission-policy ablation: unlike PocketSearch's
+/// volume-ranked community content, LRU only knows what this device saw
+/// recently, so it has no warm start and churns on exploratory queries.
+///
+/// # Example
+///
+/// ```
+/// use baselines::{CacheRequest, LruQueryCache, QueryCache};
+///
+/// let mut cache = LruQueryCache::new(1);
+/// let a = CacheRequest { query_hash: 1, result_hash: 0, query_text: "a", url: "x" };
+/// let b = CacheRequest { query_hash: 2, result_hash: 0, query_text: "b", url: "y" };
+/// cache.record_click(&a);
+/// cache.record_click(&b); // evicts `a`
+/// assert!(!cache.lookup(&a));
+/// assert!(cache.lookup(&b));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LruQueryCache {
+    capacity: usize,
+    stamps: HashMap<u64, u64>,
+    by_stamp: BTreeMap<u64, u64>,
+    clock: u64,
+}
+
+impl LruQueryCache {
+    /// Creates a cache holding at most `capacity` queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        LruQueryCache {
+            capacity,
+            stamps: HashMap::new(),
+            by_stamp: BTreeMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Number of cached queries.
+    pub fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stamps.is_empty()
+    }
+
+    fn touch(&mut self, query_hash: u64) {
+        self.clock += 1;
+        if let Some(old) = self.stamps.insert(query_hash, self.clock) {
+            self.by_stamp.remove(&old);
+        }
+        self.by_stamp.insert(self.clock, query_hash);
+    }
+
+    fn insert(&mut self, query_hash: u64) {
+        self.touch(query_hash);
+        while self.stamps.len() > self.capacity {
+            let (&oldest, &victim) = self
+                .by_stamp
+                .iter()
+                .next()
+                .expect("non-empty over capacity");
+            self.by_stamp.remove(&oldest);
+            self.stamps.remove(&victim);
+        }
+    }
+}
+
+impl QueryCache for LruQueryCache {
+    fn lookup(&mut self, request: &CacheRequest<'_>) -> bool {
+        if self.stamps.contains_key(&request.query_hash) {
+            self.touch(request.query_hash);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn record_click(&mut self, request: &CacheRequest<'_>) {
+        self.insert(request.query_hash);
+    }
+
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(q: u64) -> CacheRequest<'static> {
+        CacheRequest {
+            query_hash: q,
+            result_hash: 0,
+            query_text: "",
+            url: "",
+        }
+    }
+
+    #[test]
+    fn eviction_follows_recency() {
+        let mut c = LruQueryCache::new(2);
+        c.record_click(&req(1));
+        c.record_click(&req(2));
+        assert!(c.lookup(&req(1))); // 1 is now most recent
+        c.record_click(&req(3)); // evicts 2
+        assert!(c.lookup(&req(1)));
+        assert!(!c.lookup(&req(2)));
+        assert!(c.lookup(&req(3)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn repeated_clicks_do_not_grow_the_cache() {
+        let mut c = LruQueryCache::new(4);
+        for _ in 0..10 {
+            c.record_click(&req(7));
+        }
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lookup_miss_does_not_admit() {
+        let mut c = LruQueryCache::new(2);
+        assert!(!c.lookup(&req(5)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = LruQueryCache::new(0);
+    }
+
+    #[test]
+    fn internal_maps_stay_consistent() {
+        let mut c = LruQueryCache::new(3);
+        for i in 0..100 {
+            c.record_click(&req(i % 7));
+            assert_eq!(c.stamps.len(), c.by_stamp.len());
+            assert!(c.len() <= 3);
+        }
+    }
+}

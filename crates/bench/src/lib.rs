@@ -1,0 +1,15 @@
+//! Shared harness utilities for regenerating the paper's tables & figures.
+//!
+//! The `figures` and `tables` binaries (and the Criterion benches) lean on
+//! this crate for consistent workload construction and plain-text
+//! rendering: every experiment prints the paper's reported value next to
+//! the measured one, so a run reads as a reproduction report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod render;
+pub mod workloads;
+
+pub use render::{ascii_chart, Table};
+pub use workloads::{full_scale_study_inputs, test_scale_study_inputs, StudyInputs};

@@ -1,0 +1,150 @@
+//! Plain-text rendering of tables and simple charts.
+
+/// A fixed-column text table with a title, printed in the style of the
+/// paper's tables.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; panics if the column count differs from headers.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders an `(x, y)` series as a crude ASCII chart, y normalized into
+/// `height` rows. Good enough to eyeball CDF shapes in a terminal.
+pub fn ascii_chart(title: &str, points: &[(f64, f64)], height: usize) -> String {
+    let mut out = format!("== {title} ==\n");
+    if points.is_empty() || height == 0 {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (y_min, y_max) = points
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, y)| {
+            (lo.min(y), hi.max(y))
+        });
+    let span = (y_max - y_min).max(1e-12);
+    let width = points.len();
+    let mut grid = vec![vec![' '; width]; height];
+    for (x_idx, &(_, y)) in points.iter().enumerate() {
+        let level = (((y - y_min) / span) * (height - 1) as f64).round() as usize;
+        grid[height - 1 - level][x_idx] = '*';
+    }
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "  x: {:.0} .. {:.0}   y: {:.3} .. {:.3}\n",
+        points.first().map(|p| p.0).unwrap_or(0.0),
+        points.last().map(|p| p.0).unwrap_or(0.0),
+        y_min,
+        y_max
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer-name".into(), "22".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("== Demo =="));
+        assert!(rendered.contains("longer-name"));
+        assert_eq!(t.len(), 2);
+        // All data lines share the same width.
+        let lines: Vec<&str> = rendered.lines().skip(1).collect();
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_are_rejected() {
+        Table::new("t", &["a", "b"]).row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn chart_handles_normal_and_empty_input() {
+        let pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, (i as f64).sqrt())).collect();
+        let chart = ascii_chart("sqrt", &pts, 5);
+        assert!(chart.contains('*'));
+        assert!(chart.lines().count() >= 7);
+        assert!(ascii_chart("empty", &[], 5).contains("no data"));
+    }
+
+    #[test]
+    fn flat_series_does_not_divide_by_zero() {
+        let pts = vec![(0.0, 1.0), (1.0, 1.0)];
+        let chart = ascii_chart("flat", &pts, 3);
+        assert!(chart.contains('*'));
+    }
+}

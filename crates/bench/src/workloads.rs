@@ -1,0 +1,87 @@
+//! Canonical workload construction shared by figures, tables, and benches.
+
+use cloudlet_core::contentgen::{AdmissionPolicy, CacheContents};
+use cloudlet_core::corpus::UniverseCorpus;
+use pocketsearch::engine::Catalog;
+use querylog::generator::{GeneratorConfig, LogGenerator};
+use querylog::log::SearchLog;
+use querylog::triplets::TripletTable;
+use querylog::universe::Universe;
+
+/// Everything the experiments need from one generated world: the
+/// cache-construction month, the replay month, the extracted triplets,
+/// the community cache contents, and the hash catalog.
+#[derive(Debug, Clone)]
+pub struct StudyInputs {
+    /// The universe behind both months.
+    pub universe: Universe,
+    /// Month used to build the community cache.
+    pub build_month: SearchLog,
+    /// Month whose per-user streams are replayed.
+    pub replay_month: SearchLog,
+    /// Volume-sorted triplets of the build month.
+    pub triplets: TripletTable,
+    /// Community cache generated at the given share.
+    pub contents: CacheContents,
+    /// Precomputed hash catalog.
+    pub catalog: Catalog,
+}
+
+fn study_inputs(config: GeneratorConfig, seed: u64, share: f64) -> StudyInputs {
+    let mut generator = LogGenerator::new(config, seed);
+    let build_month = generator.generate_month();
+    let replay_month = generator.generate_month();
+    let triplets = TripletTable::from_log(&build_month);
+    let contents = CacheContents::generate(
+        &triplets,
+        &UniverseCorpus::new(generator.universe()),
+        AdmissionPolicy::CumulativeShare { share },
+    );
+    let catalog = Catalog::new(generator.universe());
+    StudyInputs {
+        universe: generator.universe().clone(),
+        build_month,
+        replay_month,
+        triplets,
+        contents,
+        catalog,
+    }
+}
+
+/// Paper-scale inputs (used by the figure/table binaries).
+pub fn full_scale_study_inputs(seed: u64) -> StudyInputs {
+    study_inputs(GeneratorConfig::full_scale(), seed, 0.55)
+}
+
+/// Small, fast inputs (used by tests and Criterion benches).
+pub fn test_scale_study_inputs(seed: u64) -> StudyInputs {
+    study_inputs(GeneratorConfig::test_scale(), seed, 0.55)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inputs_are_internally_consistent() {
+        let inputs = test_scale_study_inputs(4);
+        assert_eq!(
+            inputs.triplets.total_volume() as usize,
+            inputs.build_month.len()
+        );
+        assert!(!inputs.contents.is_empty());
+        assert!(!inputs.replay_month.is_empty());
+        // Catalog covers the whole universe.
+        let last_result = inputs.universe.results().last().unwrap().id;
+        assert!(inputs
+            .catalog
+            .record_by_hash(inputs.catalog.result_hash(last_result))
+            .is_some());
+    }
+
+    #[test]
+    fn build_and_replay_months_differ() {
+        let inputs = test_scale_study_inputs(4);
+        assert_ne!(inputs.build_month, inputs.replay_month);
+    }
+}

@@ -1,0 +1,335 @@
+//! The on-device cache state machine (Figure 6).
+//!
+//! [`PocketCache`] combines the two interrelated components of the
+//! PocketSearch architecture: the **community** component — query/result
+//! pairs mined from everyone's logs, installed as a warm start — and the
+//! **personalization** component, which expands the cache with pairs this
+//! user selects after misses and re-ranks results from their clicks
+//! (§5.3). [`CacheMode`] exposes the Figure 17 ablations: community-only
+//! (no expansion, no re-ranking) and personalization-only (starts empty).
+
+use serde::{Deserialize, Serialize};
+
+use crate::contentgen::CacheContents;
+use crate::hashtable::{ConflictPolicy, QueryHashTable, ScoredResult};
+use crate::ranking::RankingPolicy;
+
+/// Which cache components are active (Figure 17's three configurations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CacheMode {
+    /// Community warm start plus personalization (the shipping config).
+    Full,
+    /// Community entries only: user selections are never added and scores
+    /// never re-ranked.
+    CommunityOnly,
+    /// Personalization only: the cache starts empty and fills from the
+    /// user's own clicks.
+    PersonalizationOnly,
+}
+
+impl CacheMode {
+    /// All modes, in Figure 17's legend order.
+    pub const ALL: [CacheMode; 3] = [
+        CacheMode::Full,
+        CacheMode::CommunityOnly,
+        CacheMode::PersonalizationOnly,
+    ];
+
+    fn community_enabled(self) -> bool {
+        matches!(self, CacheMode::Full | CacheMode::CommunityOnly)
+    }
+
+    fn personalization_enabled(self) -> bool {
+        matches!(self, CacheMode::Full | CacheMode::PersonalizationOnly)
+    }
+}
+
+impl std::fmt::Display for CacheMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheMode::Full => write!(f, "community + personalization"),
+            CacheMode::CommunityOnly => write!(f, "community only"),
+            CacheMode::PersonalizationOnly => write!(f, "personalization only"),
+        }
+    }
+}
+
+/// Outcome of serving one query against the cache.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LookupOutcome {
+    /// Whether the query hit.
+    pub hit: bool,
+    /// Ranked results on a hit; empty on a miss.
+    pub results: Vec<ScoredResult>,
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Queries served from the cache.
+    pub hits: u64,
+    /// Queries that had to go to the radio.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`, or 0 when nothing was served.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The generic pocket-cloudlet cache.
+///
+/// # Example
+///
+/// ```
+/// use cloudlet_core::cache::{CacheMode, PocketCache};
+/// use cloudlet_core::ranking::RankingPolicy;
+///
+/// let mut cache = PocketCache::new(CacheMode::Full, RankingPolicy::default());
+/// assert!(!cache.serve(42).hit);
+/// // The user clicked a result for that query over the radio: the
+/// // personalization component caches it for next time.
+/// cache.record_click(42, 1000);
+/// assert!(cache.serve(42).hit);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PocketCache {
+    mode: CacheMode,
+    table: QueryHashTable,
+    policy: RankingPolicy,
+    stats: CacheStats,
+}
+
+impl PocketCache {
+    /// An empty cache in the given mode.
+    pub fn new(mode: CacheMode, policy: RankingPolicy) -> Self {
+        PocketCache {
+            mode,
+            table: QueryHashTable::new(),
+            policy,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The active mode.
+    pub fn mode(&self) -> CacheMode {
+        self.mode
+    }
+
+    /// The ranking policy.
+    pub fn policy(&self) -> &RankingPolicy {
+        &self.policy
+    }
+
+    /// Read access to the underlying hash table.
+    pub fn table(&self) -> &QueryHashTable {
+        &self.table
+    }
+
+    /// Replaces the underlying hash table (update protocol client side).
+    pub fn replace_table(&mut self, table: QueryHashTable) {
+        self.table = table;
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears hit/miss counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Installs one community pair. Ignored in personalization-only mode
+    /// (Figure 17's empty-start configuration).
+    pub fn install_pair(&mut self, query_hash: u64, result_hash: u64, score: f32) {
+        if self.mode.community_enabled() {
+            self.table
+                .upsert(query_hash, result_hash, score, ConflictPolicy::Max);
+        }
+    }
+
+    /// Installs a whole generated community cache.
+    pub fn install_contents(&mut self, contents: &CacheContents) {
+        for p in contents.pairs() {
+            self.install_pair(p.query_hash, p.result_hash, p.score);
+        }
+    }
+
+    /// Pure lookup without statistics bookkeeping.
+    pub fn lookup(&self, query_hash: u64) -> Option<Vec<ScoredResult>> {
+        self.table.lookup(query_hash)
+    }
+
+    /// Serves a query, updating hit/miss statistics.
+    pub fn serve(&mut self, query_hash: u64) -> LookupOutcome {
+        match self.table.lookup(query_hash) {
+            Some(results) => {
+                self.stats.hits += 1;
+                LookupOutcome { hit: true, results }
+            }
+            None => {
+                self.stats.misses += 1;
+                LookupOutcome {
+                    hit: false,
+                    results: Vec::new(),
+                }
+            }
+        }
+    }
+
+    /// Records the user's click on `(query, result)` and applies the §5.3
+    /// personalization: the clicked pair gains a point (and is inserted at
+    /// score 1 if it was missing), siblings decay, and the pair's
+    /// user-accessed flag is set. A no-op in community-only mode.
+    pub fn record_click(&mut self, query_hash: u64, result_hash: u64) {
+        if !self.mode.personalization_enabled() {
+            return;
+        }
+        let known = self
+            .table
+            .lookup(query_hash)
+            .is_some_and(|rs| rs.iter().any(|r| r.result_hash == result_hash));
+        if known {
+            let policy = self.policy;
+            self.table.update_scores(query_hash, |rh, score, _| {
+                if rh == result_hash {
+                    policy.clicked_update(score)
+                } else {
+                    policy.sibling_update(score)
+                }
+            });
+        } else {
+            // Cache-miss insertion: new entry at the maximum log score.
+            let policy = self.policy;
+            self.table
+                .update_scores(query_hash, |_, score, _| policy.sibling_update(score));
+            self.table.upsert(
+                query_hash,
+                result_hash,
+                policy.miss_insert_score(),
+                ConflictPolicy::Replace,
+            );
+        }
+        self.table
+            .mark_accessed(query_hash, result_hash)
+            .expect("pair was just ensured present");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full() -> PocketCache {
+        PocketCache::new(CacheMode::Full, RankingPolicy::default())
+    }
+
+    #[test]
+    fn community_install_produces_hits() {
+        let mut c = full();
+        c.install_pair(1, 10, 0.6);
+        c.install_pair(1, 11, 0.4);
+        let out = c.serve(1);
+        assert!(out.hit);
+        assert_eq!(out.results.len(), 2);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn personalization_only_ignores_community_installs() {
+        let mut c = PocketCache::new(CacheMode::PersonalizationOnly, RankingPolicy::default());
+        c.install_pair(1, 10, 0.6);
+        assert!(!c.serve(1).hit);
+        // But the user's own click is cached.
+        c.record_click(1, 10);
+        assert!(c.serve(1).hit);
+    }
+
+    #[test]
+    fn community_only_never_learns() {
+        let mut c = PocketCache::new(CacheMode::CommunityOnly, RankingPolicy::default());
+        c.record_click(1, 10);
+        assert!(!c.serve(1).hit);
+        // Installed scores also stay frozen.
+        c.install_pair(2, 20, 0.5);
+        c.record_click(2, 20);
+        assert_eq!(c.table().score(2, 20).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn clicks_rerank_results() {
+        let mut c = full();
+        c.install_pair(1, 10, 0.6);
+        c.install_pair(1, 11, 0.4);
+        // The user keeps choosing the lower-ranked result.
+        for _ in 0..2 {
+            c.record_click(1, 11);
+        }
+        let out = c.serve(1);
+        assert_eq!(out.results[0].result_hash, 11, "clicked result must rise");
+        assert!(out.results[0].accessed);
+        assert!(!out.results[1].accessed);
+    }
+
+    #[test]
+    fn miss_click_inserts_at_score_one() {
+        let mut c = full();
+        c.record_click(7, 70);
+        assert_eq!(c.table().score(7, 70).unwrap(), 1.0);
+        let out = c.serve(7);
+        assert!(out.hit);
+        assert!(out.results[0].accessed);
+    }
+
+    #[test]
+    fn sibling_decay_applies_even_when_clicked_pair_is_new() {
+        let mut c = full();
+        c.install_pair(1, 10, 0.8);
+        c.record_click(1, 99); // new result for a cached query
+        let s10 = c.table().score(1, 10).unwrap();
+        assert!(s10 < 0.8, "existing sibling must decay, was {s10}");
+        assert_eq!(c.table().score(1, 99).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut c = full();
+        c.install_pair(1, 10, 0.5);
+        c.serve(1);
+        c.serve(2);
+        c.serve(3);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 2));
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        c.reset_stats();
+        assert_eq!(c.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn repeated_clicks_accumulate_score() {
+        let mut c = full();
+        c.install_pair(1, 10, 0.5);
+        for _ in 0..3 {
+            c.record_click(1, 10);
+        }
+        let s = c.table().score(1, 10).unwrap();
+        assert!((s - 3.5).abs() < 1e-5, "score was {s}");
+    }
+
+    #[test]
+    fn replace_table_swaps_state() {
+        let mut c = full();
+        c.install_pair(1, 10, 0.5);
+        c.replace_table(QueryHashTable::new());
+        assert!(!c.serve(1).hit);
+    }
+}

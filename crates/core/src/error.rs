@@ -1,0 +1,77 @@
+//! Error types for the cloudlet core.
+
+use std::fmt;
+
+/// Errors returned by cloudlet-core operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A lookup or update referenced a query the cache does not hold.
+    QueryNotCached {
+        /// The query's stable hash.
+        query_hash: u64,
+    },
+    /// A score update referenced a result not linked to the query.
+    ResultNotLinked {
+        /// The query's stable hash.
+        query_hash: u64,
+        /// The result's stable hash.
+        result_hash: u64,
+    },
+    /// An update bundle was built against a different protocol version.
+    ProtocolMismatch {
+        /// Version the client speaks.
+        client: u32,
+        /// Version of the received bundle.
+        bundle: u32,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::QueryNotCached { query_hash } => {
+                write!(f, "query {query_hash:#018x} is not cached")
+            }
+            CoreError::ResultNotLinked {
+                query_hash,
+                result_hash,
+            } => write!(
+                f,
+                "result {result_hash:#018x} is not linked to query {query_hash:#018x}"
+            ),
+            CoreError::ProtocolMismatch { client, bundle } => {
+                write!(
+                    f,
+                    "update protocol mismatch: client v{client}, bundle v{bundle}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = CoreError::QueryNotCached { query_hash: 0xabc };
+        assert!(e.to_string().contains("0x0000000000000abc"));
+        let e = CoreError::ProtocolMismatch {
+            client: 1,
+            bundle: 2,
+        };
+        assert_eq!(
+            e.to_string(),
+            "update protocol mismatch: client v1, bundle v2"
+        );
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<CoreError>();
+    }
+}

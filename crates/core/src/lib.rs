@@ -1,0 +1,61 @@
+//! The generic pocket-cloudlet cache architecture (paper §3 and §5).
+//!
+//! This crate is the paper's primary contribution in library form: a cloud
+//! service cache that lives on a mobile device's NVM and combines a
+//! **community** access model (what is popular across all users, mined from
+//! service logs by a server) with a **personalization** model (what this
+//! user does, recorded on the device). PocketSearch (the `pocketsearch`
+//! crate) instantiates it for web search; the architecture is deliberately
+//! service-agnostic — everything here is keyed by stable 64-bit hashes and
+//! abstract record sizes, so the same machinery can back ads, maps, or
+//! yellow-pages cloudlets (Table 2).
+//!
+//! * [`hashtable`] — the DRAM query hash table of §5.2.1: fixed-layout
+//!   entries holding two scored results plus a flags word, with salted
+//!   overflow entries for queries with more results.
+//! * [`contentgen`] — cache content generation from `(query, result,
+//!   volume)` triplets under a memory or saturation threshold (§5.1).
+//! * [`ranking`] — the personalized ranking update of §5.3
+//!   (`S1 ← S1 + 1`, `S2 ← S2·e^{−λ}`).
+//! * [`cache`] — the on-device cache state machine combining the community
+//!   warm start and personalization expansion, with the Figure 17
+//!   component ablations.
+//! * [`update`] — the §5.4 client/server cache-management protocol.
+//! * [`coordination`] — §7's multi-cloudlet resource coordination:
+//!   budgets, coordinated eviction, and access isolation.
+//! * [`corpus`] — the small trait that ties hashes and record sizes back
+//!   to a concrete corpus (implemented for `querylog::Universe`).
+//!
+//! # Example
+//!
+//! ```
+//! use cloudlet_core::cache::{CacheMode, PocketCache};
+//! use cloudlet_core::ranking::RankingPolicy;
+//!
+//! let mut cache = PocketCache::new(CacheMode::Full, RankingPolicy::default());
+//! // Install a community entry, then serve it.
+//! cache.install_pair(100, 200, 0.53);
+//! let hit = cache.lookup(100).expect("installed queries hit");
+//! assert_eq!(hit[0].result_hash, 200);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod contentgen;
+pub mod coordination;
+pub mod corpus;
+pub mod error;
+pub mod hashtable;
+pub mod ranking;
+pub mod update;
+
+pub use cache::{CacheMode, LookupOutcome, PocketCache};
+pub use contentgen::{AdmissionPolicy, CacheContents, CachePair};
+pub use coordination::{CloudletBudgets, CloudletId, CoordinatedEviction};
+pub use corpus::{CorpusView, UniverseCorpus};
+pub use error::CoreError;
+pub use hashtable::{QueryHashTable, ScoredResult, SLOTS_PER_ENTRY};
+pub use ranking::RankingPolicy;
+pub use update::{UpdateBundle, UpdateServer};

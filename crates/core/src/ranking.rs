@@ -1,0 +1,169 @@
+//! Personalized ranking (§5.3).
+//!
+//! Every time the user submits query `Q` and clicks result `R1`,
+//! PocketSearch rewrites the scores of `Q`'s cached results:
+//!
+//! ```text
+//! S1 = S1 + 1          (the clicked result)
+//! S2 = S2 * e^(-λ)     (every sibling result)
+//! ```
+//!
+//! The increment favours what the user actually selects; the exponential
+//! decay folds in freshness, so a result clicked 100 times last week
+//! outranks one clicked 100 times a month ago.
+
+use serde::{Deserialize, Serialize};
+
+/// The §5.3 score-update policy.
+///
+/// # Example
+///
+/// ```
+/// use cloudlet_core::ranking::RankingPolicy;
+///
+/// let policy = RankingPolicy::default();
+/// let (clicked, sibling) = (policy.clicked_update(0.53), policy.sibling_update(0.47));
+/// assert!(clicked > 1.5);
+/// assert!(sibling < 0.47);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankingPolicy {
+    /// Decay constant λ applied to unclicked siblings.
+    pub lambda: f64,
+    /// Score below which a personally-accessed pair is considered stale
+    /// and eligible for server-side eviction (§5.4).
+    pub stale_threshold: f32,
+}
+
+impl RankingPolicy {
+    /// Creates a policy with an explicit decay constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or not finite.
+    pub fn new(lambda: f64, stale_threshold: f32) -> Self {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "lambda must be finite and non-negative, got {lambda}"
+        );
+        assert!(
+            stale_threshold.is_finite() && stale_threshold >= 0.0,
+            "stale_threshold must be finite and non-negative"
+        );
+        RankingPolicy {
+            lambda,
+            stale_threshold,
+        }
+    }
+
+    /// New score of the clicked result (Equation 1).
+    pub fn clicked_update(&self, score: f32) -> f32 {
+        score + 1.0
+    }
+
+    /// New score of an unclicked sibling (Equation 2).
+    pub fn sibling_update(&self, score: f32) -> f32 {
+        (f64::from(score) * (-self.lambda).exp()) as f32
+    }
+
+    /// Initial score of a pair first cached after a personal cache miss:
+    /// "its score becomes equal to 1", the maximum a log-extracted score
+    /// can take (§5.3).
+    pub fn miss_insert_score(&self) -> f32 {
+        1.0
+    }
+
+    /// Whether a score has decayed below the staleness floor.
+    pub fn is_stale(&self, score: f32) -> bool {
+        score < self.stale_threshold
+    }
+}
+
+impl Default for RankingPolicy {
+    /// λ = 0.05: a sibling loses half its score after ~14 unrewarded
+    /// clicks on its competitor, giving the "last week beats last month"
+    /// freshness behaviour at mobile query rates.
+    fn default() -> Self {
+        RankingPolicy {
+            lambda: 0.05,
+            stale_threshold: 0.01,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clicked_always_gains_a_full_point() {
+        let p = RankingPolicy::default();
+        assert_eq!(p.clicked_update(0.0), 1.0);
+        assert_eq!(p.clicked_update(2.5), 3.5);
+    }
+
+    #[test]
+    fn siblings_decay_monotonically() {
+        let p = RankingPolicy::default();
+        let mut s = 1.0f32;
+        for _ in 0..10 {
+            let next = p.sibling_update(s);
+            assert!(next < s);
+            s = next;
+        }
+    }
+
+    #[test]
+    fn zero_lambda_disables_decay() {
+        let p = RankingPolicy::new(0.0, 0.01);
+        assert_eq!(p.sibling_update(0.8), 0.8);
+    }
+
+    #[test]
+    fn freshness_beats_equal_volume() {
+        // The paper's example: R1 clicked 100 times a month ago, R2 clicked
+        // 100 times last week → R2 ranks higher, because R1's score decayed
+        // while R2 accumulated.
+        let p = RankingPolicy::new(0.05, 0.01);
+        let mut s1 = 0.0f32;
+        let mut s2 = 0.0f32;
+        // Month ago: 100 clicks on R1.
+        for _ in 0..100 {
+            s1 = p.clicked_update(s1);
+            s2 = p.sibling_update(s2);
+        }
+        // Since then: 100 clicks on R2.
+        for _ in 0..100 {
+            s2 = p.clicked_update(s2);
+            s1 = p.sibling_update(s1);
+        }
+        assert!(
+            s2 > s1,
+            "fresh clicks should outrank stale ones: {s2} vs {s1}"
+        );
+    }
+
+    #[test]
+    fn staleness_floor() {
+        let p = RankingPolicy::new(0.5, 0.05);
+        let mut s = 1.0f32;
+        let mut steps = 0;
+        while !p.is_stale(s) {
+            s = p.sibling_update(s);
+            steps += 1;
+            assert!(steps < 100, "score never went stale");
+        }
+        assert!(steps > 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn negative_lambda_is_rejected() {
+        let _ = RankingPolicy::new(-0.1, 0.0);
+    }
+
+    #[test]
+    fn miss_insert_score_is_the_log_maximum() {
+        assert_eq!(RankingPolicy::default().miss_insert_score(), 1.0);
+    }
+}

@@ -1,0 +1,643 @@
+//! The N-file result database over simulated flash.
+
+use std::collections::HashMap;
+
+use bytes::{Buf, BufMut, BytesMut};
+use mobsim::flash::{FlashError, FlashStore};
+use mobsim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::record::{DecodeError, ResultRecord};
+
+/// Bytes of one header index entry: a 64-bit hash and a 32-bit offset.
+const HEADER_ENTRY_BYTES: u64 = 12;
+/// Bytes of the header preamble: capacity and live count.
+const HEADER_PREAMBLE_BYTES: u64 = 8;
+
+/// Database configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DbConfig {
+    /// Number of database files results are hashed across.
+    pub n_files: usize,
+    /// CPU cost of parsing one header entry during retrieval.
+    pub header_parse_per_entry: SimDuration,
+    /// Minimum header capacity (entries) of a freshly built file.
+    pub initial_header_capacity: usize,
+}
+
+impl Default for DbConfig {
+    /// The paper's choice: 32 files (§5.2.2, Figure 12).
+    fn default() -> Self {
+        DbConfig {
+            n_files: 32,
+            header_parse_per_entry: SimDuration::from_micros(10),
+            initial_header_capacity: 8,
+        }
+    }
+}
+
+impl DbConfig {
+    /// A config with a different file count (for the Figure 12 sweep).
+    pub fn with_files(n_files: usize) -> Self {
+        DbConfig {
+            n_files,
+            ..DbConfig::default()
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.n_files > 0, "the database needs at least one file");
+    }
+}
+
+/// Errors from database operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// No record with this hash is stored.
+    NotFound {
+        /// The requested record hash.
+        result_hash: u64,
+    },
+    /// The underlying flash store failed.
+    Flash(FlashError),
+    /// Stored bytes failed to decode.
+    Corrupt(DecodeError),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::NotFound { result_hash } => {
+                write!(f, "no record stored for hash {result_hash:#018x}")
+            }
+            DbError::Flash(e) => write!(f, "flash error: {e}"),
+            DbError::Corrupt(e) => write!(f, "corrupt record: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<FlashError> for DbError {
+    fn from(e: FlashError) -> Self {
+        DbError::Flash(e)
+    }
+}
+
+impl From<DecodeError> for DbError {
+    fn from(e: DecodeError) -> Self {
+        DbError::Corrupt(e)
+    }
+}
+
+/// Space accounting for the database (feeds Figures 8 and 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DbStats {
+    /// Number of database files.
+    pub files: usize,
+    /// Live records stored.
+    pub records: usize,
+    /// Logical bytes across all files (headers + data).
+    pub logical_bytes: u64,
+    /// Block-rounded bytes the files occupy on flash.
+    pub allocated_bytes: u64,
+    /// Bytes lost to block rounding.
+    pub fragmentation_bytes: u64,
+    /// Dead record bytes awaiting compaction.
+    pub dead_bytes: u64,
+}
+
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct FileState {
+    /// Live entries: hash → (offset, encoded length).
+    index: HashMap<u64, (u32, u32)>,
+    /// Header slots available before a rebuild is needed.
+    capacity: usize,
+    /// Bytes of dead records in the data region.
+    dead_bytes: u64,
+}
+
+impl FileState {
+    fn header_bytes(&self) -> u64 {
+        HEADER_PREAMBLE_BYTES + self.capacity as u64 * HEADER_ENTRY_BYTES
+    }
+}
+
+/// The flash-resident result database (Figure 13).
+///
+/// The struct holds an in-memory mirror of each file's header; the
+/// authoritative bytes live in the [`FlashStore`] and every operation
+/// charges the flash timing model for what it touches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResultDb {
+    config: DbConfig,
+    files: Vec<FileState>,
+}
+
+impl ResultDb {
+    /// Builds a database from an initial record set, writing every file.
+    ///
+    /// Records are deduplicated by hash (each result is stored once).
+    pub fn build(
+        records: impl IntoIterator<Item = ResultRecord>,
+        config: DbConfig,
+        flash: &mut FlashStore,
+    ) -> Self {
+        config.validate();
+        let mut buckets: Vec<Vec<ResultRecord>> = vec![Vec::new(); config.n_files];
+        let mut seen = std::collections::HashSet::new();
+        for r in records {
+            if seen.insert(r.result_hash) {
+                buckets[(r.result_hash % config.n_files as u64) as usize].push(r);
+            }
+        }
+        let mut files = Vec::with_capacity(config.n_files);
+        for (i, bucket) in buckets.into_iter().enumerate() {
+            let capacity = bucket
+                .len()
+                .saturating_mul(2)
+                .next_power_of_two()
+                .max(config.initial_header_capacity);
+            let mut state = FileState {
+                index: HashMap::new(),
+                capacity,
+                dead_bytes: 0,
+            };
+            let bytes = Self::serialize_file(&bucket, capacity, &mut state);
+            flash.write_file(Self::file_name(i), bytes);
+            files.push(state);
+        }
+        ResultDb { config, files }
+    }
+
+    /// The database configuration.
+    pub fn config(&self) -> &DbConfig {
+        &self.config
+    }
+
+    fn file_name(i: usize) -> String {
+        format!("psdb-{i:03}")
+    }
+
+    fn file_for(&self, result_hash: u64) -> usize {
+        (result_hash % self.config.n_files as u64) as usize
+    }
+
+    fn serialize_file(records: &[ResultRecord], capacity: usize, state: &mut FileState) -> Vec<u8> {
+        let header_bytes = HEADER_PREAMBLE_BYTES + capacity as u64 * HEADER_ENTRY_BYTES;
+        let mut data = BytesMut::new();
+        let mut entries = Vec::with_capacity(records.len());
+        for r in records {
+            let offset = header_bytes + data.len() as u64;
+            let encoded = r.encode();
+            entries.push((r.result_hash, offset as u32, encoded.len() as u32));
+            data.put_slice(&encoded);
+        }
+
+        let mut out = BytesMut::with_capacity((header_bytes + data.len() as u64) as usize);
+        out.put_u32_le(capacity as u32);
+        out.put_u32_le(entries.len() as u32);
+        for &(hash, offset, _) in &entries {
+            out.put_u64_le(hash);
+            out.put_u32_le(offset);
+        }
+        out.resize(header_bytes as usize, 0);
+        out.put_slice(&data);
+
+        state.index = entries
+            .iter()
+            .map(|&(hash, offset, len)| (hash, (offset, len)))
+            .collect();
+        state.capacity = capacity;
+        state.dead_bytes = 0;
+        out.to_vec()
+    }
+
+    /// Whether a record with this hash is stored.
+    pub fn contains(&self, result_hash: u64) -> bool {
+        self.files[self.file_for(result_hash)]
+            .index
+            .contains_key(&result_hash)
+    }
+
+    /// Number of live records.
+    pub fn record_count(&self) -> usize {
+        self.files.iter().map(|f| f.index.len()).sum()
+    }
+
+    /// Retrieves a record, charging the full §5.2.2 path: file open,
+    /// header page reads, per-entry parse time, and record page reads.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NotFound`] when no record has this hash; flash or
+    /// decode errors if the store is inconsistent.
+    pub fn get(
+        &self,
+        result_hash: u64,
+        flash: &FlashStore,
+    ) -> Result<(ResultRecord, SimDuration), DbError> {
+        let file_idx = self.file_for(result_hash);
+        let state = &self.files[file_idx];
+        let name = Self::file_name(file_idx);
+
+        let mut time = flash.open_cost();
+
+        // Read and parse the header region.
+        let header = flash.read(&name, 0, state.header_bytes())?;
+        time += header.time;
+        time += self.config.header_parse_per_entry * state.index.len() as u64;
+
+        let &(offset, len) = state
+            .index
+            .get(&result_hash)
+            .ok_or(DbError::NotFound { result_hash })?;
+
+        let record_read = flash.read(&name, u64::from(offset), u64::from(len))?;
+        time += record_read.time;
+        let record = ResultRecord::decode(&mut record_read.data.as_slice())?;
+        Ok((record, time))
+    }
+
+    /// Retrieves several records (e.g. the two results of a hash-table
+    /// entry), summing their retrieval times.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first missing or corrupt record.
+    pub fn get_many(
+        &self,
+        hashes: impl IntoIterator<Item = u64>,
+        flash: &FlashStore,
+    ) -> Result<(Vec<ResultRecord>, SimDuration), DbError> {
+        let mut out = Vec::new();
+        let mut total = SimDuration::ZERO;
+        for h in hashes {
+            let (r, t) = self.get(h, flash)?;
+            out.push(r);
+            total += t;
+        }
+        Ok((out, total))
+    }
+
+    /// Inserts a record: appends it to its file and augments the header in
+    /// place (Figure 13's add path). A record whose hash is already stored
+    /// is left untouched. Returns the simulated time spent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash failures.
+    pub fn insert(
+        &mut self,
+        record: ResultRecord,
+        flash: &mut FlashStore,
+    ) -> Result<SimDuration, DbError> {
+        let file_idx = self.file_for(record.result_hash);
+        let name = Self::file_name(file_idx);
+        if self.files[file_idx].index.contains_key(&record.result_hash) {
+            return Ok(SimDuration::ZERO);
+        }
+
+        if self.files[file_idx].index.len() == self.files[file_idx].capacity {
+            return self.rebuild_file_with(file_idx, Some(record), flash);
+        }
+
+        let encoded = record.encode();
+        let (offset, append_time) = flash.append(&name, &encoded);
+        let mut time = append_time;
+
+        // Augment the header: bump the live count and fill the next slot.
+        let state = &mut self.files[file_idx];
+        let slot = state.index.len() as u64;
+        let mut slot_bytes = BytesMut::with_capacity(HEADER_ENTRY_BYTES as usize);
+        slot_bytes.put_u64_le(record.result_hash);
+        slot_bytes.put_u32_le(offset as u32);
+        time += flash.overwrite(
+            &name,
+            HEADER_PREAMBLE_BYTES + slot * HEADER_ENTRY_BYTES,
+            &slot_bytes,
+        )?;
+        let mut count_bytes = BytesMut::with_capacity(4);
+        count_bytes.put_u32_le(state.index.len() as u32 + 1);
+        time += flash.overwrite(&name, 4, &count_bytes)?;
+
+        state
+            .index
+            .insert(record.result_hash, (offset as u32, encoded.len() as u32));
+        Ok(time)
+    }
+
+    /// Removes a record's index entry; its bytes become dead until the
+    /// next [`compact`](Self::compact). Returns whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash failures from the header rewrite.
+    pub fn remove(&mut self, result_hash: u64, flash: &mut FlashStore) -> Result<bool, DbError> {
+        let file_idx = self.file_for(result_hash);
+        let Some((_, len)) = self.files[file_idx].index.remove(&result_hash) else {
+            return Ok(false);
+        };
+        self.files[file_idx].dead_bytes += u64::from(len);
+        self.rewrite_header(file_idx, flash)?;
+        Ok(true)
+    }
+
+    /// Rewrites every file that carries dead bytes, reclaiming space.
+    /// Returns the bytes freed and the simulated time spent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash failures.
+    pub fn compact(&mut self, flash: &mut FlashStore) -> Result<(u64, SimDuration), DbError> {
+        let mut freed = 0;
+        let mut time = SimDuration::ZERO;
+        for i in 0..self.files.len() {
+            if self.files[i].dead_bytes == 0 {
+                continue;
+            }
+            freed += self.files[i].dead_bytes;
+            time += self.rebuild_file_with(i, None, flash)?;
+        }
+        Ok((freed, time))
+    }
+
+    /// Space accounting across all database files.
+    pub fn stats(&self, flash: &FlashStore) -> DbStats {
+        let mut logical = 0u64;
+        let mut allocated = 0u64;
+        for i in 0..self.files.len() {
+            let size = flash.file_size(&Self::file_name(i)).unwrap_or(0);
+            logical += size;
+            allocated += flash.model().allocated_bytes(size);
+        }
+        DbStats {
+            files: self.files.len(),
+            records: self.record_count(),
+            logical_bytes: logical,
+            allocated_bytes: allocated,
+            fragmentation_bytes: allocated - logical,
+            dead_bytes: self.files.iter().map(|f| f.dead_bytes).sum(),
+        }
+    }
+
+    /// Re-reads every header from flash and checks it against the
+    /// in-memory mirror. Used by tests and after patch application.
+    ///
+    /// # Errors
+    ///
+    /// Returns a flash or decode error when the store is inconsistent.
+    pub fn verify(&self, flash: &FlashStore) -> Result<(), DbError> {
+        for (i, state) in self.files.iter().enumerate() {
+            let name = Self::file_name(i);
+            let header = flash.read(&name, 0, state.header_bytes())?;
+            let mut buf = header.data.as_slice();
+            let capacity = buf.get_u32_le() as usize;
+            let count = buf.get_u32_le() as usize;
+            if capacity != state.capacity || count != state.index.len() {
+                return Err(DbError::Corrupt(DecodeError::Truncated));
+            }
+            for _ in 0..count {
+                let hash = buf.get_u64_le();
+                let offset = buf.get_u32_le();
+                match state.index.get(&hash) {
+                    Some(&(o, _)) if o == offset => {}
+                    _ => return Err(DbError::Corrupt(DecodeError::Truncated)),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn rewrite_header(
+        &mut self,
+        file_idx: usize,
+        flash: &mut FlashStore,
+    ) -> Result<SimDuration, DbError> {
+        let state = &self.files[file_idx];
+        let mut out = BytesMut::with_capacity(state.header_bytes() as usize);
+        out.put_u32_le(state.capacity as u32);
+        out.put_u32_le(state.index.len() as u32);
+        let mut entries: Vec<(u64, u32)> = state.index.iter().map(|(&h, &(o, _))| (h, o)).collect();
+        entries.sort_unstable();
+        for (hash, offset) in entries {
+            out.put_u64_le(hash);
+            out.put_u32_le(offset);
+        }
+        out.resize(state.header_bytes() as usize, 0);
+        Ok(flash.overwrite(&Self::file_name(file_idx), 0, &out)?)
+    }
+
+    fn rebuild_file_with(
+        &mut self,
+        file_idx: usize,
+        extra: Option<ResultRecord>,
+        flash: &mut FlashStore,
+    ) -> Result<SimDuration, DbError> {
+        let name = Self::file_name(file_idx);
+        // Read back every live record.
+        let mut live = Vec::with_capacity(self.files[file_idx].index.len() + 1);
+        let mut time = flash.open_cost();
+        {
+            let state = &self.files[file_idx];
+            let mut entries: Vec<(u64, (u32, u32))> =
+                state.index.iter().map(|(&h, &v)| (h, v)).collect();
+            entries.sort_unstable_by_key(|&(_, (o, _))| o);
+            for (_, (offset, len)) in entries {
+                let read = flash.read(&name, u64::from(offset), u64::from(len))?;
+                time += read.time;
+                live.push(ResultRecord::decode(&mut read.data.as_slice())?);
+            }
+        }
+        if let Some(r) = extra {
+            live.push(r);
+        }
+        let capacity = live
+            .len()
+            .saturating_mul(2)
+            .next_power_of_two()
+            .max(self.config.initial_header_capacity);
+        let mut state = FileState::default();
+        let bytes = Self::serialize_file(&live, capacity, &mut state);
+        time += flash.write_file(name, bytes);
+        self.files[file_idx] = state;
+        Ok(time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobsim::flash::FlashModel;
+
+    fn record(hash: u64) -> ResultRecord {
+        ResultRecord::new(
+            hash,
+            format!("Title {hash}"),
+            format!("site{hash}.com"),
+            "x".repeat(400),
+        )
+    }
+
+    fn build(n_records: u64, n_files: usize) -> (ResultDb, FlashStore) {
+        let mut flash = FlashStore::new(FlashModel::default());
+        let db = ResultDb::build(
+            (0..n_records).map(record),
+            DbConfig::with_files(n_files),
+            &mut flash,
+        );
+        (db, flash)
+    }
+
+    #[test]
+    fn build_and_get_round_trip() {
+        let (db, flash) = build(100, 32);
+        assert_eq!(db.record_count(), 100);
+        for h in [0u64, 17, 99] {
+            let (r, t) = db.get(h, &flash).unwrap();
+            assert_eq!(r, record(h));
+            assert!(t > SimDuration::ZERO);
+        }
+        assert!(matches!(
+            db.get(1_000, &flash),
+            Err(DbError::NotFound { result_hash: 1_000 })
+        ));
+        db.verify(&flash).unwrap();
+    }
+
+    #[test]
+    fn duplicate_hashes_are_stored_once() {
+        let mut flash = FlashStore::new(FlashModel::default());
+        let db = ResultDb::build(
+            vec![record(1), record(1), record(2)],
+            DbConfig::default(),
+            &mut flash,
+        );
+        assert_eq!(db.record_count(), 2);
+    }
+
+    #[test]
+    fn two_result_fetch_is_about_ten_milliseconds() {
+        // Table 4: "Fetch Search Results" ~10 ms with the paper's 32-file
+        // database at its evaluation size (~2,500 records).
+        let (db, flash) = build(2_500, 32);
+        let (records, time) = db.get_many([3, 1_204], &flash).unwrap();
+        assert_eq!(records.len(), 2);
+        let ms = time.as_millis_f64();
+        assert!(
+            (5.0..16.0).contains(&ms),
+            "two-result fetch took {ms:.1} ms"
+        );
+    }
+
+    #[test]
+    fn figure12_tradeoff_few_files_slow_many_files_fragmented() {
+        let fetch_ms = |n_files: usize| {
+            let (db, flash) = build(2_500, n_files);
+            let (_, t) = db.get_many([3, 1_204], &flash).unwrap();
+            t.as_millis_f64()
+        };
+        let frag = |n_files: usize| {
+            build(2_500, n_files)
+                .0
+                .stats(&build(2_500, n_files).1)
+                .fragmentation_bytes
+        };
+
+        // Retrieval gets cheaper from 1 file to 32 files...
+        assert!(
+            fetch_ms(1) > 2.0 * fetch_ms(32),
+            "1-file header scan should dominate"
+        );
+        // ...but fragmentation keeps growing with the file count.
+        assert!(frag(256) > frag(32));
+        assert!(frag(32) >= frag(4));
+    }
+
+    #[test]
+    fn insert_appends_and_augments_header() {
+        let (mut db, mut flash) = build(10, 4);
+        let t = db.insert(record(500), &mut flash).unwrap();
+        assert!(t > SimDuration::ZERO);
+        assert!(db.contains(500));
+        let (r, _) = db.get(500, &flash).unwrap();
+        assert_eq!(r, record(500));
+        db.verify(&flash).unwrap();
+        // Re-inserting the same record is free and harmless.
+        assert_eq!(
+            db.insert(record(500), &mut flash).unwrap(),
+            SimDuration::ZERO
+        );
+        assert_eq!(db.record_count(), 11);
+    }
+
+    #[test]
+    fn header_overflow_triggers_rebuild() {
+        let mut flash = FlashStore::new(FlashModel::default());
+        let mut db = ResultDb::build(
+            (0..8).map(|i| record(i * 2)), // all even hashes, 2 files
+            DbConfig {
+                n_files: 2,
+                initial_header_capacity: 4,
+                ..DbConfig::default()
+            },
+            &mut flash,
+        );
+        // Fill file 0 beyond any initial capacity.
+        for i in 0..40u64 {
+            db.insert(record(i * 2), &mut flash).unwrap();
+        }
+        assert_eq!(
+            db.record_count(),
+            40,
+            "8 initial hashes overlap the 40 inserted"
+        );
+        db.verify(&flash).unwrap();
+        for i in 0..40u64 {
+            assert!(db.contains(i * 2));
+        }
+    }
+
+    #[test]
+    fn remove_then_compact_reclaims_space() {
+        let (mut db, mut flash) = build(50, 8);
+        let before = db.stats(&flash);
+        for h in 0..25u64 {
+            assert!(db.remove(h, &mut flash).unwrap());
+        }
+        assert!(!db.remove(0, &mut flash).unwrap(), "double remove is false");
+        assert!(db.get(0, &flash).is_err());
+        let mid = db.stats(&flash);
+        assert_eq!(mid.records, 25);
+        assert!(mid.dead_bytes > 0);
+
+        let (freed, _) = db.compact(&mut flash).unwrap();
+        assert_eq!(freed, mid.dead_bytes);
+        let after = db.stats(&flash);
+        assert_eq!(after.dead_bytes, 0);
+        assert!(after.logical_bytes < before.logical_bytes);
+        db.verify(&flash).unwrap();
+        // Survivors still readable.
+        let (r, _) = db.get(30, &flash).unwrap();
+        assert_eq!(r, record(30));
+    }
+
+    #[test]
+    fn stats_account_fragmentation() {
+        let (db, flash) = build(100, 32);
+        let s = db.stats(&flash);
+        assert_eq!(s.files, 32);
+        assert_eq!(s.records, 100);
+        assert_eq!(s.allocated_bytes - s.logical_bytes, s.fragmentation_bytes);
+        assert!(s.allocated_bytes % flash.model().block_bytes == 0);
+    }
+
+    #[test]
+    fn evaluation_size_database_fits_the_papers_footprint() {
+        // §6.1: ~2,500 results occupy ~1 MB of flash.
+        let (db, flash) = build(2_500, 32);
+        let s = db.stats(&flash);
+        let mb = s.allocated_bytes as f64 / 1e6;
+        assert!((1.0..2.0).contains(&mb), "database occupied {mb:.2} MB");
+    }
+}

@@ -1,0 +1,45 @@
+//! The flash-resident search-result database (§5.2.2, Figure 13).
+//!
+//! PocketSearch stores search results in a custom database of plain files
+//! on NAND flash. Each result is stored **once** — §5.2.1 found only ~60%
+//! of cached results unique, so storing per-query copies would waste ~8×
+//! the space — and results are spread across `N` files by `hash(url) mod
+//! N` to balance two costs that pull in opposite directions (Figure 12):
+//!
+//! * **few files** → long headers that take many page reads and parse
+//!   cycles per retrieval;
+//! * **many files** → every file's tail block is half wasted
+//!   (fragmentation), and filesystem metadata pressure grows.
+//!
+//! The paper lands on 32 files as the best tradeoff; [`DbConfig::default`]
+//! does the same, and the `file_count_sweep` bench regenerates the curve.
+//!
+//! Each file is laid out as `[capacity | count | (hash, offset) ... | records]`
+//! with a fixed-capacity header region, mirroring Figure 13: the first
+//! "line" maps result hashes to byte offsets, and new results are appended
+//! to the end while the header is augmented in place.
+//!
+//! # Example
+//!
+//! ```
+//! use flashdb::{DbConfig, ResultDb, ResultRecord};
+//! use mobsim::flash::{FlashModel, FlashStore};
+//!
+//! let mut flash = FlashStore::new(FlashModel::default());
+//! let record = ResultRecord::new(7, "Title", "example.com", "A snippet.");
+//! let mut db = ResultDb::build([record.clone()], DbConfig::default(), &mut flash);
+//! let (fetched, time) = db.get(7, &flash).expect("record is stored");
+//! assert_eq!(fetched, record);
+//! assert!(time.as_millis_f64() < 20.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod db;
+pub mod patch;
+pub mod record;
+
+pub use db::{DbConfig, DbError, DbStats, ResultDb};
+pub use patch::{DbPatch, PatchReport};
+pub use record::ResultRecord;

@@ -1,0 +1,193 @@
+//! Applying server update bundles to the database (§5.4, Figure 14).
+//!
+//! After the nightly merge, the server ships the new hash table together
+//! with patches for the database files. [`DbPatch`] carries the record
+//! additions and removals; applying it drives the same append/augment and
+//! header-rewrite paths a live insertion would, then reports how much
+//! data moved — the paper bounds the whole nightly exchange at ~1.5 MB.
+
+use cloudlet_core::update::UpdateBundle;
+use mobsim::flash::FlashStore;
+use mobsim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::db::{DbError, ResultDb};
+use crate::record::ResultRecord;
+
+/// A database patch: full records to add, hashes to drop.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DbPatch {
+    /// Records for newly popular results.
+    pub adds: Vec<ResultRecord>,
+    /// Hashes of records no longer referenced by the hash table.
+    pub removes: Vec<u64>,
+}
+
+impl DbPatch {
+    /// Materializes a patch from a core update bundle, fetching record
+    /// bodies from `record_source` (on the real system, the server's
+    /// index; here, typically the synthetic universe).
+    ///
+    /// Unresolvable hashes are skipped: the hash table may reference a
+    /// record the server chose not to ship, which simply stays a miss.
+    pub fn from_bundle(
+        bundle: &UpdateBundle,
+        mut record_source: impl FnMut(u64) -> Option<ResultRecord>,
+    ) -> Self {
+        DbPatch {
+            adds: bundle
+                .added_results
+                .iter()
+                .filter_map(|&h| record_source(h))
+                .collect(),
+            removes: bundle.removed_results.clone(),
+        }
+    }
+
+    /// Bytes this patch moves over the link (record bodies plus 8 bytes
+    /// per removal notice).
+    pub fn wire_bytes(&self) -> usize {
+        self.adds
+            .iter()
+            .map(ResultRecord::encoded_len)
+            .sum::<usize>()
+            + 8 * self.removes.len()
+    }
+
+    /// Whether the patch changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.adds.is_empty() && self.removes.is_empty()
+    }
+}
+
+/// Outcome of applying a patch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PatchReport {
+    /// Records newly inserted.
+    pub added: usize,
+    /// Records removed.
+    pub removed: usize,
+    /// Simulated flash time the application took.
+    pub flash_time: SimDuration,
+}
+
+/// Applies a patch to the database, compacting afterwards when removals
+/// left dead bytes behind.
+///
+/// # Errors
+///
+/// Propagates database failures; the patch is applied record-by-record,
+/// so a failure leaves earlier changes in place (the nightly update
+/// simply retries, as the protocol is idempotent).
+pub fn apply_patch(
+    db: &mut ResultDb,
+    patch: &DbPatch,
+    flash: &mut FlashStore,
+) -> Result<PatchReport, DbError> {
+    let mut report = PatchReport::default();
+    for &hash in &patch.removes {
+        if db.remove(hash, flash)? {
+            report.removed += 1;
+        }
+    }
+    for record in &patch.adds {
+        if !db.contains(record.result_hash) {
+            report.added += 1;
+        }
+        report.flash_time += db.insert(record.clone(), flash)?;
+    }
+    if report.removed > 0 {
+        let (_, t) = db.compact(flash)?;
+        report.flash_time += t;
+    }
+    db.verify(flash)?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::DbConfig;
+    use mobsim::flash::FlashModel;
+
+    fn record(hash: u64) -> ResultRecord {
+        ResultRecord::new(
+            hash,
+            format!("T{hash}"),
+            format!("u{hash}.com"),
+            "s".repeat(300),
+        )
+    }
+
+    fn db_with(hashes: &[u64]) -> (ResultDb, FlashStore) {
+        let mut flash = FlashStore::new(FlashModel::default());
+        let db = ResultDb::build(
+            hashes.iter().map(|&h| record(h)),
+            DbConfig::with_files(4),
+            &mut flash,
+        );
+        (db, flash)
+    }
+
+    #[test]
+    fn patch_adds_and_removes() {
+        let (mut db, mut flash) = db_with(&[1, 2, 3]);
+        let patch = DbPatch {
+            adds: vec![record(10), record(11)],
+            removes: vec![2],
+        };
+        let report = apply_patch(&mut db, &patch, &mut flash).unwrap();
+        assert_eq!((report.added, report.removed), (2, 1));
+        assert!(db.contains(10) && db.contains(11) && !db.contains(2));
+        assert!(report.flash_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn patch_is_idempotent() {
+        let (mut db, mut flash) = db_with(&[1, 2, 3]);
+        let patch = DbPatch {
+            adds: vec![record(10)],
+            removes: vec![2],
+        };
+        apply_patch(&mut db, &patch, &mut flash).unwrap();
+        let second = apply_patch(&mut db, &patch, &mut flash).unwrap();
+        assert_eq!((second.added, second.removed), (0, 0));
+        assert_eq!(db.record_count(), 3);
+    }
+
+    #[test]
+    fn from_bundle_resolves_records_and_skips_unknowns() {
+        let bundle = UpdateBundle {
+            version: cloudlet_core::update::PROTOCOL_VERSION,
+            records: Vec::new(),
+            added_results: vec![5, 6, 7],
+            removed_results: vec![1],
+        };
+        let patch = DbPatch::from_bundle(&bundle, |h| (h != 6).then(|| record(h)));
+        assert_eq!(patch.adds.len(), 2, "unresolvable hash 6 is skipped");
+        assert_eq!(patch.removes, vec![1]);
+        assert!(!patch.is_empty());
+        assert!(patch.wire_bytes() > 8);
+    }
+
+    #[test]
+    fn nightly_update_stays_under_the_papers_budget() {
+        // ~1 MB of database patches for a full cache refresh (§5.4).
+        let adds: Vec<ResultRecord> = (0..2_500).map(|i| record(i + 10_000)).collect();
+        let patch = DbPatch {
+            adds,
+            removes: Vec::new(),
+        };
+        let mb = patch.wire_bytes() as f64 / 1e6;
+        assert!((0.5..1.5).contains(&mb), "patch wire size {mb:.2} MB");
+    }
+
+    #[test]
+    fn empty_patch_is_a_no_op() {
+        let (mut db, mut flash) = db_with(&[1]);
+        let before = db.stats(&flash);
+        let report = apply_patch(&mut db, &DbPatch::default(), &mut flash).unwrap();
+        assert_eq!(report, PatchReport::default());
+        assert_eq!(db.stats(&flash), before);
+    }
+}

@@ -1,0 +1,198 @@
+//! Search-result records and their wire encoding.
+//!
+//! For every search result the database stores "its title, which serves as
+//! the hyperlink to the landing page, a short description of the landing
+//! page and the human readable form of the hyperlink" (§5.2.2) — about
+//! 500 bytes per result on average.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// One stored search result.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ResultRecord {
+    /// Stable hash of the result URL; the record's database key.
+    pub result_hash: u64,
+    /// Title text (the tappable hyperlink).
+    pub title: String,
+    /// Human-readable form of the hyperlink.
+    pub display_url: String,
+    /// Short description of the landing page.
+    pub snippet: String,
+}
+
+/// Errors from decoding a record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the record did.
+    Truncated,
+    /// A field was not valid UTF-8.
+    InvalidUtf8,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "record bytes were truncated"),
+            DecodeError::InvalidUtf8 => write!(f, "record field was not valid utf-8"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl ResultRecord {
+    /// Creates a record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field exceeds `u16::MAX` bytes — fields are
+    /// length-prefixed with 16 bits.
+    pub fn new(
+        result_hash: u64,
+        title: impl Into<String>,
+        display_url: impl Into<String>,
+        snippet: impl Into<String>,
+    ) -> Self {
+        let record = ResultRecord {
+            result_hash,
+            title: title.into(),
+            display_url: display_url.into(),
+            snippet: snippet.into(),
+        };
+        for (name, field) in [
+            ("title", &record.title),
+            ("display_url", &record.display_url),
+            ("snippet", &record.snippet),
+        ] {
+            assert!(
+                field.len() <= usize::from(u16::MAX),
+                "{name} exceeds the 16-bit length prefix"
+            );
+        }
+        record
+    }
+
+    /// Encoded size in bytes: an 8-byte hash plus three length-prefixed
+    /// fields.
+    pub fn encoded_len(&self) -> usize {
+        8 + 2 + self.title.len() + 2 + self.display_url.len() + 2 + self.snippet.len()
+    }
+
+    /// Encodes the record.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_u64_le(self.result_hash);
+        for field in [&self.title, &self.display_url, &self.snippet] {
+            buf.put_u16_le(field.len() as u16);
+            buf.put_slice(field.as_bytes());
+        }
+        buf.freeze()
+    }
+
+    /// Decodes one record from the front of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Truncated`] when `buf` is too short and
+    /// [`DecodeError::InvalidUtf8`] for corrupt text fields.
+    pub fn decode(buf: &mut impl Buf) -> Result<ResultRecord, DecodeError> {
+        if buf.remaining() < 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let result_hash = buf.get_u64_le();
+        let mut fields = Vec::with_capacity(3);
+        for _ in 0..3 {
+            if buf.remaining() < 2 {
+                return Err(DecodeError::Truncated);
+            }
+            let len = usize::from(buf.get_u16_le());
+            if buf.remaining() < len {
+                return Err(DecodeError::Truncated);
+            }
+            let mut bytes = vec![0u8; len];
+            buf.copy_to_slice(&mut bytes);
+            fields.push(String::from_utf8(bytes).map_err(|_| DecodeError::InvalidUtf8)?);
+        }
+        let snippet = fields.pop().expect("three fields were read");
+        let display_url = fields.pop().expect("three fields were read");
+        let title = fields.pop().expect("three fields were read");
+        Ok(ResultRecord {
+            result_hash,
+            title,
+            display_url,
+            snippet,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ResultRecord {
+        ResultRecord::new(
+            0xdead_beef,
+            "Michael Jackson — IMDb",
+            "imdb.com/name/nm0001391",
+            "Biography of the King of Pop.",
+        )
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let r = sample();
+        let encoded = r.encode();
+        assert_eq!(encoded.len(), r.encoded_len());
+        let decoded = ResultRecord::decode(&mut encoded.clone()).unwrap();
+        assert_eq!(decoded, r);
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_boundary() {
+        let full = sample().encode();
+        for cut in [0, 4, 8, 9, 12, full.len() - 1] {
+            let mut slice = full.slice(..cut);
+            assert_eq!(
+                ResultRecord::decode(&mut slice),
+                Err(DecodeError::Truncated),
+                "cut at {cut} should truncate"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut bytes = BytesMut::new();
+        bytes.put_u64_le(1);
+        bytes.put_u16_le(2);
+        bytes.put_slice(&[0xff, 0xfe]); // invalid UTF-8 title
+        bytes.put_u16_le(0);
+        bytes.put_u16_le(0);
+        assert_eq!(
+            ResultRecord::decode(&mut bytes.freeze()),
+            Err(DecodeError::InvalidUtf8)
+        );
+    }
+
+    #[test]
+    fn empty_fields_are_legal() {
+        let r = ResultRecord::new(5, "", "", "");
+        let decoded = ResultRecord::decode(&mut r.encode()).unwrap();
+        assert_eq!(decoded, r);
+        assert_eq!(r.encoded_len(), 14);
+    }
+
+    #[test]
+    fn decode_consumes_exactly_one_record() {
+        let a = sample();
+        let b = ResultRecord::new(2, "t", "u", "s");
+        let mut buf = BytesMut::new();
+        buf.put_slice(&a.encode());
+        buf.put_slice(&b.encode());
+        let mut bytes = buf.freeze();
+        assert_eq!(ResultRecord::decode(&mut bytes).unwrap(), a);
+        assert_eq!(ResultRecord::decode(&mut bytes).unwrap(), b);
+        assert_eq!(bytes.remaining(), 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Browser rendering model (Tables 4 and 5).
+//!
+//! Table 4 of the paper shows that 96.7% of PocketSearch's 378 ms hit path
+//! is the embedded browser rendering the search-result page (361 ms), with
+//! ~7 ms of miscellaneous bookkeeping. Table 5 extends this to full
+//! navigation: after the search results arrive, downloading and rendering
+//! the landing page takes ~15 s (lightweight) or ~30 s (heavyweight)
+//! over 3G.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Weight class of a landing page (Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageWeight {
+    /// A mobile-optimized page: ~15 s to download and render over 3G.
+    Lightweight,
+    /// A full desktop-class page: ~30 s over 3G.
+    Heavyweight,
+}
+
+impl PageWeight {
+    /// Both classes, lightweight first (Table 5 order).
+    pub const ALL: [PageWeight; 2] = [PageWeight::Lightweight, PageWeight::Heavyweight];
+}
+
+impl std::fmt::Display for PageWeight {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PageWeight::Lightweight => write!(f, "Lightweight Page"),
+            PageWeight::Heavyweight => write!(f, "Heavyweight Page"),
+        }
+    }
+}
+
+/// The handset browser's timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BrowserModel {
+    /// Rendering the search-result page inside the app's embedded browser.
+    pub render_serp: SimDuration,
+    /// Miscellaneous per-query bookkeeping outside lookup/fetch/render.
+    pub misc: SimDuration,
+    /// Downloading and rendering a lightweight landing page over 3G.
+    pub lightweight_page: SimDuration,
+    /// Downloading and rendering a heavyweight landing page over 3G.
+    pub heavyweight_page: SimDuration,
+}
+
+impl BrowserModel {
+    /// Time to download and render a landing page of the given weight.
+    pub fn page_load(&self, weight: PageWeight) -> SimDuration {
+        match weight {
+            PageWeight::Lightweight => self.lightweight_page,
+            PageWeight::Heavyweight => self.heavyweight_page,
+        }
+    }
+}
+
+impl Default for BrowserModel {
+    /// The constants measured in the paper's Table 4 and Table 5.
+    fn default() -> Self {
+        BrowserModel {
+            render_serp: SimDuration::from_millis(361),
+            misc: SimDuration::from_millis(7),
+            lightweight_page: SimDuration::from_secs(15),
+            heavyweight_page: SimDuration::from_secs(30),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table4() {
+        let b = BrowserModel::default();
+        assert_eq!(b.render_serp, SimDuration::from_millis(361));
+        assert_eq!(b.misc, SimDuration::from_millis(7));
+    }
+
+    #[test]
+    fn rendering_dominates_the_hit_path() {
+        // Table 4: rendering is 96.7% of the 378 ms total.
+        let b = BrowserModel::default();
+        let lookup = SimDuration::from_micros(10);
+        let fetch = SimDuration::from_millis(10);
+        let total = lookup + fetch + b.render_serp + b.misc;
+        let share = b.render_serp.ratio(total).unwrap();
+        assert!((share - 0.955).abs() < 0.02, "render share was {share}");
+    }
+
+    #[test]
+    fn page_load_matches_table5() {
+        let b = BrowserModel::default();
+        assert_eq!(
+            b.page_load(PageWeight::Lightweight),
+            SimDuration::from_secs(15)
+        );
+        assert_eq!(
+            b.page_load(PageWeight::Heavyweight),
+            SimDuration::from_secs(30)
+        );
+    }
+}

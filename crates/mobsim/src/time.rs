@@ -1,0 +1,292 @@
+//! Simulation clock newtypes.
+//!
+//! All simulator timing is expressed in whole microseconds, which is fine
+//! for a model whose finest-grained event is a 10 µs hash-table lookup and
+//! keeps every computation exact and deterministic.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A span of simulated time, in microseconds.
+///
+/// # Example
+///
+/// ```
+/// use mobsim::time::SimDuration;
+///
+/// let render = SimDuration::from_millis(361);
+/// let lookup = SimDuration::from_micros(10);
+/// assert!(render > lookup * 1_000);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be finite and non-negative, got {secs}"
+        );
+        SimDuration((secs * 1_000_000.0).round() as u64)
+    }
+
+    /// Duration in whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Duration in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Duration in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The ratio `self / other`, or `None` when `other` is zero.
+    pub fn ratio(self, other: SimDuration) -> Option<f64> {
+        if other.0 == 0 {
+            None
+        } else {
+            Some(self.0 as f64 / other.0 as f64)
+        }
+    }
+
+    /// Scales the duration by a non-negative factor, rounding to micros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn scale(self, factor: f64) -> SimDuration {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative, got {factor}"
+        );
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        assert!(
+            self.0 >= rhs.0,
+            "duration underflow: {self} - {rhs}; use saturating_sub for clamped semantics"
+        );
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3} s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.2} ms", self.as_millis_f64())
+        } else {
+            write!(f, "{} us", self.0)
+        }
+    }
+}
+
+/// An instant on the simulation clock (microseconds since simulation start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimInstant(u64);
+
+impl SimInstant {
+    /// Simulation start.
+    pub const ZERO: SimInstant = SimInstant(0);
+
+    /// Creates an instant a given number of microseconds after start.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimInstant(micros)
+    }
+
+    /// Microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is after `self`.
+    pub fn duration_since(self, earlier: SimInstant) -> SimDuration {
+        assert!(
+            self.0 >= earlier.0,
+            "duration_since called with a later instant"
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// The span from `earlier` to `self`, clamped to zero when negative.
+    pub fn saturating_duration_since(self, earlier: SimInstant) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDuration> for SimInstant {
+    type Output = SimInstant;
+
+    fn add(self, rhs: SimDuration) -> SimInstant {
+        SimInstant(self.0.saturating_add(rhs.as_micros()))
+    }
+}
+
+impl AddAssign<SimDuration> for SimInstant {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors_round_trip() {
+        assert_eq!(SimDuration::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimDuration::from_secs(2).as_millis_f64(), 2_000.0);
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_micros(), 500_000);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_millis(10);
+        let b = SimDuration::from_millis(4);
+        assert_eq!(a + b, SimDuration::from_millis(14));
+        assert_eq!(a - b, SimDuration::from_millis(6));
+        assert_eq!(b.saturating_sub(a), SimDuration::ZERO);
+        assert_eq!(a * 3, SimDuration::from_millis(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = SimDuration::from_millis(1) - SimDuration::from_millis(2);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        let a = SimDuration::from_secs(6);
+        assert_eq!(
+            a.ratio(SimDuration::from_millis(378)).map(f64::round),
+            Some(16.0)
+        );
+        assert_eq!(a.ratio(SimDuration::ZERO), None);
+    }
+
+    #[test]
+    fn instants_advance_and_diff() {
+        let t0 = SimInstant::ZERO;
+        let t1 = t0 + SimDuration::from_secs(3);
+        assert_eq!(t1.duration_since(t0), SimDuration::from_secs(3));
+        assert_eq!(t0.saturating_duration_since(t1), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "later instant")]
+    fn duration_since_rejects_reversed_order() {
+        let t1 = SimInstant::from_micros(5);
+        let _ = SimInstant::ZERO.duration_since(t1);
+    }
+
+    #[test]
+    fn display_picks_natural_units() {
+        assert_eq!(SimDuration::from_micros(10).to_string(), "10 us");
+        assert_eq!(SimDuration::from_millis(378).to_string(), "378.00 ms");
+        assert_eq!(SimDuration::from_secs(6).to_string(), "6.000 s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = [1u64, 2, 3]
+            .iter()
+            .map(|&s| SimDuration::from_secs(s))
+            .sum();
+        assert_eq!(total, SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn scale_rounds() {
+        assert_eq!(SimDuration::from_micros(10).scale(1.25).as_micros(), 13);
+    }
+}

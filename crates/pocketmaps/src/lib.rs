@@ -1,0 +1,48 @@
+//! PocketMaps: the mapping pocket cloudlet the paper sizes but does not
+//! build (§2 Table 2, §7).
+//!
+//! Table 2 works out that 25.6 GB of NVM holds ~5.5 million 5 KB map
+//! tiles — at 300 m × 300 m per tile, "the area of a whole state in the
+//! United States" — and §7 lists the mapping cloudlet among the services
+//! that share the device with PocketSearch. This crate builds the cloudlet
+//! those numbers imply:
+//!
+//! * [`grid`] — the 300 m tile grid: positions, tile ids, viewports, and
+//!   region enumeration.
+//! * [`movement`] — a synthetic commuter: anchor points (home, work,
+//!   haunts) and day-by-day trips between them, standing in for the GPS
+//!   traces a real deployment would mine.
+//! * [`cloudlet`] — the tile cache: byte-budgeted storage, viewport
+//!   rendering with hit/miss accounting, on-demand radio fetches, and the
+//!   overnight prefetch policies (whole state, home region, or the
+//!   *frequent regions* the user actually visits).
+//!
+//! The headline experiment (see `ablations --study maps`): caching the
+//! user's frequent regions captures almost all viewport traffic at a tiny
+//! fraction of the whole-state budget — the community/personal data
+//! selection argument of §3.1, transplanted to geography.
+//!
+//! # Example
+//!
+//! ```
+//! use pocketmaps::grid::{Position, TileGrid};
+//! use pocketmaps::cloudlet::{PocketMaps, PrefetchPolicy};
+//!
+//! let grid = TileGrid::paper_default();
+//! let home = Position::meters(1_000.0, 2_000.0);
+//! let mut maps = PocketMaps::new(grid, 10_000_000); // 10 MB of tiles
+//! maps.prefetch_region(home, 3_000.0);
+//! let render = maps.render_viewport(home);
+//! assert_eq!(render.misses, 0, "the home region renders radio-free");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cloudlet;
+pub mod grid;
+pub mod movement;
+
+pub use cloudlet::{PocketMaps, PrefetchPolicy, ViewportRender};
+pub use grid::{Position, TileGrid, TileId};
+pub use movement::{CommuterModel, MovementTrace};

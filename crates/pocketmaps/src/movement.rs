@@ -1,0 +1,158 @@
+//! A synthetic commuter: the GPS-trace stand-in.
+//!
+//! Real deployments would mine anchor locations from GPS history; here a
+//! [`CommuterModel`] generates them. A user lives around a handful of
+//! anchors (home, work, a few haunts) and their days are trips between
+//! anchors with GPS-ish jitter, plus the occasional excursion somewhere
+//! new — the geographic analogue of the query repertoire: predictable
+//! revisits with a diverse tail.
+
+use mobsim::time::{SimDuration, SimInstant};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::grid::Position;
+
+/// One user's movement over several days: `(when, where)` samples.
+pub type MovementTrace = Vec<(SimInstant, Position)>;
+
+/// Configuration of the commuter generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommuterModel {
+    /// Number of anchor locations per user (home, work, haunts).
+    pub anchors: usize,
+    /// Side of the square metro area anchors are scattered in, metres.
+    pub metro_side_m: f64,
+    /// Probability a trip targets an anchor (vs somewhere new).
+    pub anchor_trip_prob: f64,
+    /// Map checks per day (each produces a viewport render).
+    pub checks_per_day: u32,
+    /// GPS jitter radius around the true position, metres.
+    pub jitter_m: f64,
+}
+
+impl Default for CommuterModel {
+    fn default() -> Self {
+        CommuterModel {
+            anchors: 4,
+            metro_side_m: 30_000.0, // a 30 km metro area
+            anchor_trip_prob: 0.85,
+            checks_per_day: 12,
+            jitter_m: 120.0,
+        }
+    }
+}
+
+impl CommuterModel {
+    /// Generates one user's anchors and a `days`-long trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is degenerate (no anchors or no checks).
+    pub fn generate(&self, days: u32, seed: u64) -> (Vec<Position>, MovementTrace) {
+        assert!(self.anchors > 0, "a commuter needs at least one anchor");
+        assert!(
+            self.checks_per_day > 0,
+            "a trace needs at least one check per day"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let anchors: Vec<Position> = (0..self.anchors)
+            .map(|_| {
+                Position::meters(
+                    rng.random_range(0.0..self.metro_side_m),
+                    rng.random_range(0.0..self.metro_side_m),
+                )
+            })
+            .collect();
+
+        let mut trace = Vec::new();
+        let mut at = anchors[0]; // the day starts at home
+        for day in 0..days {
+            for check in 0..self.checks_per_day {
+                // Each check happens somewhere along the current trip.
+                let destination = if rng.random::<f64>() < self.anchor_trip_prob {
+                    anchors[rng.random_range(0..anchors.len())]
+                } else {
+                    Position::meters(
+                        rng.random_range(0.0..self.metro_side_m),
+                        rng.random_range(0.0..self.metro_side_m),
+                    )
+                };
+                // Checks cluster near departure and arrival (people look
+                // at the map when setting out and when closing in), so
+                // bias progress toward the trip's endpoints.
+                let u: f64 = rng.random_range(0.0..1.0);
+                let progress = if rng.random::<f64>() < 0.3 {
+                    u * 0.2
+                } else {
+                    1.0 - u * u * 0.3
+                };
+                let mut p = at.lerp(destination, progress);
+                p.x += rng.random_range(-self.jitter_m..self.jitter_m);
+                p.y += rng.random_range(-self.jitter_m..self.jitter_m);
+                let second =
+                    7 * 3_600 + u64::from(check) * (14 * 3_600 / u64::from(self.checks_per_day));
+                let when =
+                    SimInstant::ZERO + SimDuration::from_secs(u64::from(day) * 86_400 + second);
+                trace.push((when, p));
+                if progress > 0.8 {
+                    at = destination; // arrived; next trip starts here
+                }
+            }
+        }
+        (anchors, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic_and_sized() {
+        let m = CommuterModel::default();
+        let (a1, t1) = m.generate(7, 5);
+        let (a2, t2) = m.generate(7, 5);
+        assert_eq!(a1, a2);
+        assert_eq!(t1, t2);
+        assert_eq!(t1.len(), 7 * 12);
+        let (_, t3) = m.generate(7, 6);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn samples_are_chronological_and_in_metro() {
+        let m = CommuterModel::default();
+        let (_, trace) = m.generate(5, 9);
+        assert!(trace.windows(2).all(|w| w[0].0 <= w[1].0));
+        for (_, p) in &trace {
+            assert!(p.x > -1_000.0 && p.x < m.metro_side_m + 1_000.0);
+            assert!(p.y > -1_000.0 && p.y < m.metro_side_m + 1_000.0);
+        }
+    }
+
+    #[test]
+    fn movement_concentrates_near_anchors() {
+        // The geographic repertoire: most checks happen within a couple of
+        // km of some anchor.
+        let m = CommuterModel::default();
+        let (anchors, trace) = m.generate(14, 3);
+        let near = trace
+            .iter()
+            .filter(|(_, p)| anchors.iter().any(|a| a.distance_to(*p) < 5_000.0))
+            .count();
+        let frac = near as f64 / trace.len() as f64;
+        assert!(frac > 0.5, "only {frac:.2} of checks were near anchors");
+    }
+
+    #[test]
+    #[should_panic(expected = "anchor")]
+    fn zero_anchors_is_rejected() {
+        let m = CommuterModel {
+            anchors: 0,
+            ..CommuterModel::default()
+        };
+        let _ = m.generate(1, 0);
+    }
+}

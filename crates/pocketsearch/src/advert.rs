@@ -1,0 +1,197 @@
+//! The advertisement cloudlet (Figure 1, §7).
+//!
+//! PocketSearch is "a search **and advertisement** pocket cloudlet": next
+//! to each cached result page it shows a locally cached ad banner. The ad
+//! cache reuses the same architecture (a hash table keyed by query), and
+//! §7 uses the search/ads pair to motivate coordination: "if a particular
+//! query misses in the local search cache, there is not much benefit in
+//! hitting the ad cache because the latency bottleneck to service this
+//! query will be waking up the radio" — so the ad cloudlet is only
+//! consulted after a search hit, and its entries share eviction groups
+//! with the search entries they accompany.
+
+use cloudlet_core::coordination::{CloudletId, CoordinatedEviction};
+use cloudlet_core::hashtable::{ConflictPolicy, QueryHashTable};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One cached advertisement banner.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdRecord {
+    /// Stable hash identifying the ad creative.
+    pub ad_hash: u64,
+    /// Banner payload size in bytes (~5 KB in Table 2).
+    pub banner_bytes: usize,
+    /// The ad caption shown under the banner.
+    pub caption: String,
+}
+
+/// Outcome of consulting the ad cloudlet for one query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdOutcome {
+    /// The search cache missed, so the ad cache was not consulted at all.
+    Skipped,
+    /// A locally cached ad is shown.
+    Hit(AdRecord),
+    /// No ad cached for this query; the radio fetch will bring one.
+    Miss,
+}
+
+/// The advertisement cloudlet.
+///
+/// # Example
+///
+/// ```
+/// use pocketsearch::advert::{AdCloudlet, AdOutcome, AdRecord};
+///
+/// let mut ads = AdCloudlet::new();
+/// ads.install(42, AdRecord { ad_hash: 7, banner_bytes: 5_000, caption: "Sale!".into() });
+/// assert!(matches!(ads.serve(42, true), AdOutcome::Hit(_)));
+/// // After a search miss the radio wakes anyway — the ad cache is skipped.
+/// assert_eq!(ads.serve(42, false), AdOutcome::Skipped);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdCloudlet {
+    table: QueryHashTable,
+    creatives: HashMap<u64, AdRecord>,
+    hits: u64,
+    misses: u64,
+    skipped: u64,
+}
+
+impl AdCloudlet {
+    /// An empty ad cache.
+    pub fn new() -> Self {
+        AdCloudlet::default()
+    }
+
+    /// Installs an ad for a query.
+    pub fn install(&mut self, query_hash: u64, record: AdRecord) {
+        self.table
+            .upsert(query_hash, record.ad_hash, 1.0, ConflictPolicy::Max);
+        self.creatives.insert(record.ad_hash, record);
+    }
+
+    /// Serves the ad slot for a query, given whether the search cache hit.
+    pub fn serve(&mut self, query_hash: u64, search_hit: bool) -> AdOutcome {
+        if !search_hit {
+            self.skipped += 1;
+            return AdOutcome::Skipped;
+        }
+        let best = self
+            .table
+            .lookup(query_hash)
+            .and_then(|results| results.first().copied())
+            .and_then(|r| self.creatives.get(&r.result_hash).cloned());
+        match best {
+            Some(record) => {
+                self.hits += 1;
+                AdOutcome::Hit(record)
+            }
+            None => {
+                self.misses += 1;
+                AdOutcome::Miss
+            }
+        }
+    }
+
+    /// Removes the ads linked to a query (a coordinated eviction).
+    pub fn evict_query(&mut self, query_hash: u64) -> usize {
+        let Some(results) = self.table.lookup(query_hash) else {
+            return 0;
+        };
+        for r in &results {
+            self.creatives.remove(&r.result_hash);
+        }
+        self.table.retain_pairs(|q, _, _, _| q != query_hash)
+    }
+
+    /// Registers every cached query under a shared eviction key with the
+    /// search cloudlet, so related entries leave together (§7).
+    pub fn link_evictions(&self, eviction: &mut CoordinatedEviction, me: CloudletId) {
+        for (query_hash, ad_hash, _, _) in self.table.iter_pairs() {
+            eviction.link(query_hash, me, ad_hash);
+        }
+    }
+
+    /// Number of cached creatives.
+    pub fn creative_count(&self) -> usize {
+        self.creatives.len()
+    }
+
+    /// `(hits, misses, skipped)` counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.skipped)
+    }
+
+    /// Total banner bytes cached.
+    pub fn banner_bytes(&self) -> usize {
+        self.creatives.values().map(|c| c.banner_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ad(hash: u64) -> AdRecord {
+        AdRecord {
+            ad_hash: hash,
+            banner_bytes: 5_000,
+            caption: format!("creative {hash}"),
+        }
+    }
+
+    #[test]
+    fn hit_miss_skip_accounting() {
+        let mut ads = AdCloudlet::new();
+        ads.install(1, ad(10));
+        assert!(matches!(ads.serve(1, true), AdOutcome::Hit(_)));
+        assert_eq!(ads.serve(2, true), AdOutcome::Miss);
+        assert_eq!(ads.serve(1, false), AdOutcome::Skipped);
+        assert_eq!(ads.counters(), (1, 1, 1));
+    }
+
+    #[test]
+    fn eviction_removes_table_and_creatives() {
+        let mut ads = AdCloudlet::new();
+        ads.install(1, ad(10));
+        ads.install(1, ad(11));
+        ads.install(2, ad(20));
+        assert_eq!(ads.evict_query(1), 2);
+        assert_eq!(ads.creative_count(), 1);
+        assert_eq!(ads.serve(1, true), AdOutcome::Miss);
+        assert!(matches!(ads.serve(2, true), AdOutcome::Hit(_)));
+        assert_eq!(ads.evict_query(99), 0);
+    }
+
+    #[test]
+    fn coordinated_eviction_spans_cloudlets() {
+        let mut ads = AdCloudlet::new();
+        ads.install(42, ad(7));
+        let mut ev = CoordinatedEviction::new();
+        let search = CloudletId(0);
+        let ads_id = CloudletId(1);
+        ev.link(42, search, 0xBEEF); // the search entry for the same query
+        ads.link_evictions(&mut ev, ads_id);
+        let group = ev.evict(42);
+        assert_eq!(group.len(), 2, "search entry and ad entry leave together");
+        assert!(group.contains(&(ads_id, 7)));
+        // The ad cloudlet honours its half of the group.
+        for (who, _) in group {
+            if who == ads_id {
+                ads.evict_query(42);
+            }
+        }
+        assert_eq!(ads.serve(42, true), AdOutcome::Miss);
+    }
+
+    #[test]
+    fn banner_budget_tracks_table2_sizing() {
+        let mut ads = AdCloudlet::new();
+        for i in 0..100 {
+            ads.install(i, ad(1_000 + i));
+        }
+        assert_eq!(ads.banner_bytes(), 500_000);
+    }
+}

@@ -1,0 +1,81 @@
+//! PocketSearch configuration.
+
+use cloudlet_core::cache::CacheMode;
+use cloudlet_core::ranking::RankingPolicy;
+use flashdb::DbConfig;
+use mobsim::browser::BrowserModel;
+use mobsim::device::DeviceConfig;
+use mobsim::flash::FlashModel;
+use mobsim::radio::RadioKind;
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to instantiate a [`PocketSearch`](crate::PocketSearch)
+/// engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PocketSearchConfig {
+    /// Which cache components are active (Figure 17's ablations).
+    pub mode: CacheMode,
+    /// The §5.3 personalization ranking policy.
+    pub ranking: RankingPolicy,
+    /// Result-database layout (32 files by default).
+    pub db: DbConfig,
+    /// Handset base power, lookup time, and search exchange sizes.
+    pub device: DeviceConfig,
+    /// Browser render model (Table 4 constants).
+    pub browser: BrowserModel,
+    /// NAND flash part model.
+    pub flash: FlashModel,
+    /// Radio used when the cache misses.
+    pub miss_radio: RadioKind,
+}
+
+impl PocketSearchConfig {
+    /// The paper's evaluation configuration: full cache, 32-file database,
+    /// calibrated handset, misses over 3G.
+    pub fn paper_defaults() -> Self {
+        PocketSearchConfig {
+            mode: CacheMode::Full,
+            ranking: RankingPolicy::default(),
+            db: DbConfig::default(),
+            device: DeviceConfig::default(),
+            browser: BrowserModel::default(),
+            flash: FlashModel::default(),
+            miss_radio: RadioKind::ThreeG,
+        }
+    }
+
+    /// Same configuration with a different cache mode.
+    pub fn with_mode(mode: CacheMode) -> Self {
+        PocketSearchConfig {
+            mode,
+            ..PocketSearchConfig::paper_defaults()
+        }
+    }
+}
+
+impl Default for PocketSearchConfig {
+    fn default() -> Self {
+        PocketSearchConfig::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = PocketSearchConfig::default();
+        assert_eq!(c.mode, CacheMode::Full);
+        assert_eq!(c.db.n_files, 32);
+        assert_eq!(c.miss_radio, RadioKind::ThreeG);
+        assert_eq!(c.device.base_power.milliwatts(), 900);
+    }
+
+    #[test]
+    fn with_mode_only_changes_the_mode() {
+        let c = PocketSearchConfig::with_mode(CacheMode::CommunityOnly);
+        assert_eq!(c.mode, CacheMode::CommunityOnly);
+        assert_eq!(c.db, PocketSearchConfig::default().db);
+    }
+}

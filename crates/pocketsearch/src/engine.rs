@@ -1,0 +1,454 @@
+//! The PocketSearch engine: cache + database + device, serving queries.
+
+use std::collections::HashMap;
+
+use cloudlet_core::cache::{CacheMode, PocketCache};
+use cloudlet_core::contentgen::CacheContents;
+use cloudlet_core::error::CoreError;
+use cloudlet_core::update::{apply_update, UpdateServer, UploadPayload};
+use flashdb::patch::{apply_patch, DbPatch, PatchReport};
+use flashdb::{DbError, ResultDb, ResultRecord};
+use mobsim::device::{Device, ServiceReport};
+use mobsim::power::Energy;
+use mobsim::time::SimDuration;
+use querylog::ids::{stable_hash64, QueryId, ResultId};
+use querylog::universe::Universe;
+
+use crate::config::PocketSearchConfig;
+
+/// Precomputed hash↔identifier mappings for a universe, shared by the
+/// engine, the replay harness, and the update server.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    query_hashes: Vec<u64>,
+    result_hashes: Vec<u64>,
+    records: Vec<ResultRecord>,
+    by_result_hash: HashMap<u64, ResultId>,
+}
+
+impl Catalog {
+    /// Builds the catalog for a universe.
+    pub fn new(universe: &Universe) -> Self {
+        let query_hashes = universe
+            .queries()
+            .iter()
+            .map(|q| stable_hash64(q.text.as_bytes()))
+            .collect();
+        let mut result_hashes = Vec::with_capacity(universe.results().len());
+        let mut records = Vec::with_capacity(universe.results().len());
+        let mut by_result_hash = HashMap::with_capacity(universe.results().len());
+        for r in universe.results() {
+            let hash = stable_hash64(r.url.as_bytes());
+            let (title, display, snippet) = universe.record_text(r.id);
+            result_hashes.push(hash);
+            records.push(ResultRecord::new(hash, title, display, snippet));
+            by_result_hash.insert(hash, r.id);
+        }
+        Catalog {
+            query_hashes,
+            result_hashes,
+            records,
+            by_result_hash,
+        }
+    }
+
+    /// Stable hash of a query.
+    pub fn query_hash(&self, query: QueryId) -> u64 {
+        self.query_hashes[query.as_usize()]
+    }
+
+    /// Stable hash of a result.
+    pub fn result_hash(&self, result: ResultId) -> u64 {
+        self.result_hashes[result.as_usize()]
+    }
+
+    /// The database record of a result.
+    pub fn record(&self, result: ResultId) -> ResultRecord {
+        self.records[result.as_usize()].clone()
+    }
+
+    /// Resolves a result hash back to its record, if known.
+    pub fn record_by_hash(&self, result_hash: u64) -> Option<ResultRecord> {
+        self.by_result_hash
+            .get(&result_hash)
+            .map(|&id| self.records[id.as_usize()].clone())
+    }
+}
+
+/// Outcome of serving one query end to end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedQuery {
+    /// Whether the query was served from the cache.
+    pub hit: bool,
+    /// The (up to two) result records displayed on a hit.
+    pub results: Vec<ResultRecord>,
+    /// Timing, energy, and breakdown from the device model.
+    pub report: ServiceReport,
+}
+
+/// Report of one nightly update cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateCycleReport {
+    /// Bytes uploaded (the hash table).
+    pub upload_bytes: usize,
+    /// Bytes downloaded (table + database patch).
+    pub download_bytes: usize,
+    /// Database patch outcome.
+    pub patch: PatchReport,
+}
+
+/// Errors surfaced by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The core cache/update layer failed.
+    Core(CoreError),
+    /// The flash database failed.
+    Db(DbError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Core(e) => write!(f, "cache error: {e}"),
+            EngineError::Db(e) => write!(f, "database error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<CoreError> for EngineError {
+    fn from(e: CoreError) -> Self {
+        EngineError::Core(e)
+    }
+}
+
+impl From<DbError> for EngineError {
+    fn from(e: DbError) -> Self {
+        EngineError::Db(e)
+    }
+}
+
+/// The assembled PocketSearch system (Figure 6 over Figure 9's storage).
+#[derive(Debug, Clone)]
+pub struct PocketSearch {
+    config: PocketSearchConfig,
+    cache: PocketCache,
+    db: ResultDb,
+    device: Device,
+}
+
+impl PocketSearch {
+    /// Builds an engine: installs the community contents into the hash
+    /// table (mode permitting) and writes the result database to the
+    /// device's flash.
+    pub fn build(contents: &CacheContents, catalog: &Catalog, config: PocketSearchConfig) -> Self {
+        let mut cache = PocketCache::new(config.mode, config.ranking);
+        cache.install_contents(contents);
+        let mut device = Device::new(config.device, config.browser, config.flash);
+
+        // The database stores each distinct referenced result once.
+        let records: Vec<ResultRecord> = if config.mode == CacheMode::PersonalizationOnly {
+            Vec::new()
+        } else {
+            cache
+                .table()
+                .result_hashes()
+                .into_iter()
+                .filter_map(|h| catalog.record_by_hash(h))
+                .collect()
+        };
+        let db = ResultDb::build(records, config.db, device.flash_mut());
+
+        PocketSearch {
+            config,
+            cache,
+            db,
+            device,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &PocketSearchConfig {
+        &self.config
+    }
+
+    /// The underlying cache.
+    pub fn cache(&self) -> &PocketCache {
+        &self.cache
+    }
+
+    /// Mutable access to the cache, for OS-driven coordinated eviction
+    /// (§7) and tests.
+    pub fn cache_mut(&mut self) -> &mut PocketCache {
+        &mut self.cache
+    }
+
+    /// The flash result database.
+    pub fn db(&self) -> &ResultDb {
+        &self.db
+    }
+
+    /// The simulated handset.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Mutable handset access (for idling between queries in traces).
+    pub fn device_mut(&mut self) -> &mut Device {
+        &mut self.device
+    }
+
+    /// Serves one query end to end: hash-table lookup, then either the
+    /// flash fetch + render path (hit) or the radio path (miss).
+    pub fn serve(&mut self, query_hash: u64) -> ServedQuery {
+        let outcome = self.cache.serve(query_hash);
+        if outcome.hit {
+            // Display the top two results, as in the Figure 1 GUI.
+            let top: Vec<u64> = outcome
+                .results
+                .iter()
+                .take(2)
+                .map(|r| r.result_hash)
+                .collect();
+            match self.db.get_many(top, self.device.flash()) {
+                Ok((results, fetch_time)) => {
+                    let report = self.device.serve_cache_hit(fetch_time);
+                    return ServedQuery {
+                        hit: true,
+                        results,
+                        report,
+                    };
+                }
+                Err(_) => {
+                    // An index entry without its record (e.g. a pruned
+                    // database) degrades into a radio miss rather than a
+                    // failure — the user still gets results.
+                }
+            }
+        }
+        let report = self.device.serve_via_radio(self.config.miss_radio);
+        ServedQuery {
+            hit: false,
+            results: Vec::new(),
+            report,
+        }
+    }
+
+    /// Records the user's click: personalizes ranking, caches the pair on
+    /// a miss, and makes sure the clicked record is stored in the database
+    /// so future hits can fetch it.
+    pub fn click(
+        &mut self,
+        query_hash: u64,
+        result_hash: u64,
+        record: impl FnOnce() -> ResultRecord,
+    ) {
+        self.cache.record_click(query_hash, result_hash);
+        // In community-only mode nothing was cached, so nothing to store.
+        if self.cache.mode() != CacheMode::CommunityOnly && !self.db.contains(result_hash) {
+            let _ = self.db.insert(record(), self.device.flash_mut());
+        }
+    }
+
+    /// Runs one §5.4 update cycle against a server while the phone charges.
+    ///
+    /// # Errors
+    ///
+    /// Returns protocol or database failures; the engine is left usable
+    /// either way.
+    pub fn nightly_update(
+        &mut self,
+        server: &UpdateServer,
+        catalog: &Catalog,
+    ) -> Result<UpdateCycleReport, EngineError> {
+        let upload = UploadPayload::from_cache(&self.cache);
+        let upload_bytes = upload.wire_bytes();
+        let bundle = server.build_update(&upload)?;
+        apply_update(&mut self.cache, &bundle)?;
+        let patch = DbPatch::from_bundle(&bundle, |h| catalog.record_by_hash(h));
+        let download_bytes = upload_bytes + patch.wire_bytes();
+        let patch_report = apply_patch(&mut self.db, &patch, self.device.flash_mut())?;
+        Ok(UpdateCycleReport {
+            upload_bytes,
+            download_bytes,
+            patch: patch_report,
+        })
+    }
+
+    /// Total simulated time the device has spent.
+    pub fn elapsed(&self) -> SimDuration {
+        self.device
+            .now()
+            .saturating_duration_since(mobsim::time::SimInstant::ZERO)
+    }
+
+    /// Total energy dissipated so far.
+    pub fn energy(&self) -> Energy {
+        self.device.total_energy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudlet_core::contentgen::AdmissionPolicy;
+    use cloudlet_core::corpus::UniverseCorpus;
+    use cloudlet_core::ranking::RankingPolicy;
+    use querylog::generator::{GeneratorConfig, LogGenerator};
+    use querylog::triplets::TripletTable;
+
+    fn setup() -> (LogGenerator, CacheContents, Catalog) {
+        let mut g = LogGenerator::new(GeneratorConfig::test_scale(), 12);
+        let log = g.generate_month();
+        let table = TripletTable::from_log(&log);
+        let contents = CacheContents::generate(
+            &table,
+            &UniverseCorpus::new(g.universe()),
+            AdmissionPolicy::CumulativeShare { share: 0.55 },
+        );
+        let catalog = Catalog::new(g.universe());
+        (g, contents, catalog)
+    }
+
+    #[test]
+    fn popular_queries_hit_and_render_in_400ms() {
+        let (_, contents, catalog) = setup();
+        let mut engine = PocketSearch::build(&contents, &catalog, PocketSearchConfig::default());
+        let served = engine.serve(contents.pairs()[0].query_hash);
+        assert!(served.hit);
+        assert!(!served.results.is_empty());
+        let ms = served.report.total_time.as_millis_f64();
+        assert!(
+            (350.0..420.0).contains(&ms),
+            "hit took {ms:.0} ms, expected ~378"
+        );
+    }
+
+    #[test]
+    fn misses_ride_the_radio_and_cost_seconds() {
+        let (_, contents, catalog) = setup();
+        let mut engine = PocketSearch::build(&contents, &catalog, PocketSearchConfig::default());
+        let served = engine.serve(0xdead_beef); // unknown query
+        assert!(!served.hit);
+        assert!(served.report.total_time.as_secs_f64() > 3.0);
+        assert!(served.report.transfer.is_some());
+    }
+
+    #[test]
+    fn sixteen_x_speedup_between_hit_and_miss() {
+        let (_, contents, catalog) = setup();
+        let mut engine = PocketSearch::build(&contents, &catalog, PocketSearchConfig::default());
+        let hit = engine.serve(contents.pairs()[0].query_hash);
+        let mut engine2 = PocketSearch::build(&contents, &catalog, PocketSearchConfig::default());
+        let miss = engine2.serve(0xdead_beef);
+        let speedup = miss.report.total_time.ratio(hit.report.total_time).unwrap();
+        assert!((13.0..19.0).contains(&speedup), "speedup was {speedup:.1}");
+    }
+
+    #[test]
+    fn click_after_miss_caches_pair_and_record() {
+        let (g, contents, catalog) = setup();
+        let mut engine = PocketSearch::build(&contents, &catalog, PocketSearchConfig::default());
+        // Find an uncached pair.
+        let uncached = g
+            .universe()
+            .pairs()
+            .iter()
+            .rev()
+            .find(|p| engine.cache.lookup(catalog.query_hash(p.query)).is_none())
+            .expect("tail pairs are uncached")
+            .clone();
+        let qh = catalog.query_hash(uncached.query);
+        let rh = catalog.result_hash(uncached.result);
+        assert!(!engine.serve(qh).hit);
+        engine.click(qh, rh, || catalog.record(uncached.result));
+        let served = engine.serve(qh);
+        assert!(served.hit, "personalization must cache the miss");
+        assert_eq!(served.results[0].result_hash, rh);
+    }
+
+    #[test]
+    fn community_only_mode_never_expands() {
+        let (g, contents, catalog) = setup();
+        let mut engine = PocketSearch::build(
+            &contents,
+            &catalog,
+            PocketSearchConfig::with_mode(CacheMode::CommunityOnly),
+        );
+        let uncached = g
+            .universe()
+            .pairs()
+            .iter()
+            .rev()
+            .find(|p| engine.cache.lookup(catalog.query_hash(p.query)).is_none())
+            .unwrap()
+            .clone();
+        let qh = catalog.query_hash(uncached.query);
+        let db_before = engine.db().record_count();
+        engine.click(qh, catalog.result_hash(uncached.result), || {
+            catalog.record(uncached.result)
+        });
+        assert!(!engine.serve(qh).hit);
+        assert_eq!(engine.db().record_count(), db_before, "no record added");
+    }
+
+    #[test]
+    fn personalization_only_starts_empty() {
+        let (_, contents, catalog) = setup();
+        let mut engine = PocketSearch::build(
+            &contents,
+            &catalog,
+            PocketSearchConfig::with_mode(CacheMode::PersonalizationOnly),
+        );
+        assert_eq!(engine.db().record_count(), 0);
+        assert!(!engine.serve(contents.pairs()[0].query_hash).hit);
+    }
+
+    #[test]
+    fn nightly_update_syncs_cache_and_database() {
+        let (_, contents, catalog) = setup();
+        let mut engine = PocketSearch::build(&contents, &catalog, PocketSearchConfig::default());
+        // Touch one community pair so it survives the prune.
+        let kept = contents.pairs()[0];
+        engine.click(kept.query_hash, kept.result_hash, || {
+            catalog.record(kept.result)
+        });
+        let server = UpdateServer::from_contents(&contents, RankingPolicy::default());
+        let report = engine.nightly_update(&server, &catalog).unwrap();
+        assert!(report.upload_bytes > 0);
+        // Fresh set identical to installed set: no database churn beyond
+        // what the prune removed.
+        assert_eq!(report.patch.added, 0);
+        engine.db().verify(engine.device.flash()).unwrap();
+        // The kept pair still hits.
+        assert!(engine.serve(kept.query_hash).hit);
+    }
+
+    #[test]
+    fn update_exchange_fits_the_papers_envelope() {
+        let (_, contents, catalog) = setup();
+        let mut engine = PocketSearch::build(&contents, &catalog, PocketSearchConfig::default());
+        let server = UpdateServer::from_contents(&contents, RankingPolicy::default());
+        let report = engine.nightly_update(&server, &catalog).unwrap();
+        // Scaled cache: the exchange must stay well under the paper's
+        // ~1.5 MB bound for a cache ~6x larger.
+        assert!(report.download_bytes < 1_500_000);
+    }
+
+    #[test]
+    fn catalog_resolves_hashes_both_ways() {
+        let (g, _, catalog) = setup();
+        let r = ResultId::new(5);
+        let h = catalog.result_hash(r);
+        let rec = catalog.record_by_hash(h).unwrap();
+        assert_eq!(rec.result_hash, h);
+        assert_eq!(catalog.record(r), rec);
+        assert!(catalog.record_by_hash(0x1234_5678).is_none());
+        let q = QueryId::new(3);
+        assert_eq!(
+            catalog.query_hash(q),
+            stable_hash64(g.universe().query(q).text.as_bytes())
+        );
+    }
+}

@@ -1,0 +1,379 @@
+//! Packaged evaluation drivers for the paper's §6 studies.
+//!
+//! Each function reproduces one experiment end to end so that tests, the
+//! bench harness, and the examples all run the *same* code:
+//!
+//! * [`figure15_points`] — per-query response time and energy for
+//!   PocketSearch vs 3G / EDGE / 802.11g.
+//! * [`figure16_traces`] — power-over-time for ten consecutive queries.
+//! * [`run_hit_rate_study`] — Figures 17/18/19 and the §6.2.2 daily-update
+//!   variant: build the cache from one month of community logs, replay the
+//!   next month's per-user streams per class and cache mode.
+
+use cloudlet_core::cache::CacheMode;
+use cloudlet_core::contentgen::{AdmissionPolicy, CacheContents};
+use cloudlet_core::corpus::UniverseCorpus;
+use cloudlet_core::update::UpdateServer;
+use mobsim::device::Device;
+use mobsim::power::Energy;
+use mobsim::radio::RadioKind;
+use mobsim::time::SimDuration;
+use mobsim::timeline::PowerTimeline;
+use querylog::generator::{GeneratorConfig, LogGenerator};
+use querylog::log::{LogEntry, SearchLog};
+use querylog::triplets::TripletTable;
+use querylog::users::UserClass;
+use serde::{Deserialize, Serialize};
+
+use crate::config::PocketSearchConfig;
+use crate::engine::{Catalog, PocketSearch};
+use crate::replay::{replay_population, ClassSummary};
+
+/// One bar of Figure 15: a service path with its time and energy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServicePoint {
+    /// "PocketSearch", "3G", "Edge", or "802.11g".
+    pub label: String,
+    /// Average user response time per query.
+    pub time: SimDuration,
+    /// Average energy per query.
+    pub energy: Energy,
+    /// Response-time ratio vs the PocketSearch hit path.
+    pub speedup_vs_pocket: f64,
+    /// Energy ratio vs the PocketSearch hit path.
+    pub energy_ratio_vs_pocket: f64,
+}
+
+/// Computes Figure 15's bars using the calibrated device model. The
+/// `fetch_time` is what the flash database charges for a two-result fetch
+/// (~10 ms at the paper's cache size).
+pub fn figure15_points(fetch_time: SimDuration) -> Vec<ServicePoint> {
+    let mut device = Device::with_defaults();
+    let pocket = device.serve_cache_hit(fetch_time);
+
+    let mut points = vec![ServicePoint {
+        label: "PocketSearch".to_owned(),
+        time: pocket.total_time,
+        energy: pocket.energy,
+        speedup_vs_pocket: 1.0,
+        energy_ratio_vs_pocket: 1.0,
+    }];
+    for kind in RadioKind::ALL {
+        let mut device = Device::with_defaults();
+        let report = device.serve_via_radio(kind);
+        points.push(ServicePoint {
+            label: kind.to_string(),
+            time: report.total_time,
+            energy: report.energy,
+            speedup_vs_pocket: report
+                .total_time
+                .ratio(pocket.total_time)
+                .expect("hit path is non-zero"),
+            energy_ratio_vs_pocket: report
+                .energy
+                .ratio(pocket.energy)
+                .expect("hit energy is non-zero"),
+        });
+    }
+    points
+}
+
+/// Produces Figure 16's two traces: ten consecutive queries served by
+/// PocketSearch, and the same ten queries over 3G.
+pub fn figure16_traces(queries: usize, fetch_time: SimDuration) -> (PowerTimeline, PowerTimeline) {
+    let mut pocket = Device::with_defaults();
+    for _ in 0..queries {
+        pocket.serve_cache_hit(fetch_time);
+    }
+    let mut radio = Device::with_defaults();
+    for _ in 0..queries {
+        radio.serve_via_radio(RadioKind::ThreeG);
+    }
+    (pocket.timeline().clone(), radio.timeline().clone())
+}
+
+/// Configuration of the hit-rate study (Figures 17–19, §6.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HitRateConfig {
+    /// Log generator configuration (population and universe).
+    pub generator: GeneratorConfig,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Cumulative-volume share the community cache covers (the paper
+    /// evaluates at 55%).
+    pub cache_share: f64,
+    /// Users replayed per Table 6 class (the paper uses 100).
+    pub users_per_class: usize,
+    /// Whether to refresh the community component nightly (§6.2.2).
+    pub daily_updates: bool,
+    /// Ranking policy installed on every engine (λ ablations override it).
+    pub ranking: cloudlet_core::ranking::RankingPolicy,
+}
+
+impl HitRateConfig {
+    /// A fast test-scale study.
+    pub fn test_scale(seed: u64) -> Self {
+        HitRateConfig {
+            generator: GeneratorConfig::test_scale(),
+            seed,
+            cache_share: 0.55,
+            users_per_class: 20,
+            daily_updates: false,
+            ranking: cloudlet_core::ranking::RankingPolicy::default(),
+        }
+    }
+
+    /// The paper-scale study.
+    pub fn full_scale(seed: u64) -> Self {
+        HitRateConfig {
+            generator: GeneratorConfig::full_scale(),
+            seed,
+            cache_share: 0.55,
+            users_per_class: 100,
+            daily_updates: false,
+            ranking: cloudlet_core::ranking::RankingPolicy::default(),
+        }
+    }
+}
+
+/// Results for one cache mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModeStudy {
+    /// The cache mode replayed.
+    pub mode: CacheMode,
+    /// Per-class summaries (Table 6 order, absent classes skipped).
+    pub summaries: Vec<ClassSummary>,
+    /// Unweighted mean hit rate across classes — the paper's headline
+    /// "65%" style number.
+    pub average_hit_rate: f64,
+}
+
+/// The full study across modes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HitRateStudy {
+    /// One entry per requested mode.
+    pub modes: Vec<ModeStudy>,
+    /// Pairs cached by the community component.
+    pub cached_pairs: usize,
+    /// Distinct results in the community cache.
+    pub cached_results: usize,
+    /// Estimated DRAM footprint of the community hash table.
+    pub dram_bytes: usize,
+    /// Estimated flash footprint of the community database.
+    pub flash_bytes: usize,
+}
+
+/// Runs the §6.2 experiment: build the cache from month 1 of community
+/// logs, replay month 2's per-user streams (up to `users_per_class` per
+/// Table 6 class) under each cache mode.
+pub fn run_hit_rate_study(config: &HitRateConfig, modes: &[CacheMode]) -> HitRateStudy {
+    let mut generator = LogGenerator::new(config.generator, config.seed);
+    let build_month = generator.generate_month();
+    let replay_month = generator.generate_month();
+
+    let table = TripletTable::from_log(&build_month);
+    let corpus = UniverseCorpus::new(generator.universe());
+    let contents = CacheContents::generate(
+        &table,
+        &corpus,
+        AdmissionPolicy::CumulativeShare {
+            share: config.cache_share,
+        },
+    );
+    let catalog = Catalog::new(generator.universe());
+    let streams = select_streams(&replay_month, config.users_per_class);
+
+    // §6.2.2: one update server per replay day, built over a 28-day
+    // sliding window that gradually swaps build-month days for replay-month
+    // days.
+    let servers: Option<Vec<UpdateServer>> = config.daily_updates.then(|| {
+        let days = replay_month.days();
+        (0..days)
+            .map(|d| {
+                let mut window: Vec<LogEntry> = build_month
+                    .iter()
+                    .filter(|e| e.time.day > d)
+                    .copied()
+                    .collect();
+                window.extend(replay_month.iter().filter(|e| e.time.day <= d).copied());
+                let window_log = SearchLog::new(window, days);
+                let window_table = TripletTable::from_log(&window_log);
+                let window_contents = CacheContents::generate(
+                    &window_table,
+                    &corpus,
+                    AdmissionPolicy::CumulativeShare {
+                        share: config.cache_share,
+                    },
+                );
+                UpdateServer::from_contents(&window_contents, config.ranking)
+            })
+            .collect()
+    });
+
+    let mut mode_studies = Vec::with_capacity(modes.len());
+    for &mode in modes {
+        let engine_config = PocketSearchConfig {
+            ranking: config.ranking,
+            ..PocketSearchConfig::with_mode(mode)
+        };
+        let engine = PocketSearch::build(&contents, &catalog, engine_config);
+        let outcomes = replay_population(&engine, &catalog, &streams, servers.as_deref());
+        let summaries = ClassSummary::all(&outcomes);
+        let average_hit_rate = ClassSummary::mean_hit_rate(&summaries);
+        mode_studies.push(ModeStudy {
+            mode,
+            summaries,
+            average_hit_rate,
+        });
+    }
+
+    HitRateStudy {
+        modes: mode_studies,
+        cached_pairs: contents.len(),
+        cached_results: contents.distinct_results(),
+        dram_bytes: contents.dram_bytes(),
+        flash_bytes: contents.flash_bytes(),
+    }
+}
+
+/// Picks up to `per_class` user streams per Table 6 class from a replay
+/// month, mirroring the paper's random per-class selection (the generated
+/// population order is already random).
+pub fn select_streams(replay_month: &SearchLog, per_class: usize) -> Vec<Vec<LogEntry>> {
+    let mut counts = std::collections::BTreeMap::new();
+    let mut streams = Vec::new();
+    for user in replay_month.users() {
+        let stream = replay_month.user_stream(user);
+        let Some(class) = UserClass::classify(stream.len() as u32) else {
+            continue;
+        };
+        let count = counts.entry(class).or_insert(0usize);
+        if *count < per_class {
+            *count += 1;
+            streams.push(stream);
+        }
+    }
+    streams
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure15_reproduces_the_headline_ratios() {
+        let points = figure15_points(SimDuration::from_millis(10));
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].label, "PocketSearch");
+        let by_label = |l: &str| points.iter().find(|p| p.label == l).unwrap().clone();
+        let threeg = by_label("3G");
+        let edge = by_label("Edge");
+        let wifi = by_label("802.11g");
+        assert!((14.0..18.0).contains(&threeg.speedup_vs_pocket));
+        assert!((22.0..28.0).contains(&edge.speedup_vs_pocket));
+        assert!((5.5..8.5).contains(&wifi.speedup_vs_pocket));
+        assert!((20.0..27.0).contains(&threeg.energy_ratio_vs_pocket));
+        assert!((36.0..46.0).contains(&edge.energy_ratio_vs_pocket));
+        assert!((9.0..13.0).contains(&wifi.energy_ratio_vs_pocket));
+    }
+
+    #[test]
+    fn figure16_pocket_4s_900mw_vs_3g_40s_higher_power() {
+        let (pocket, radio) = figure16_traces(10, SimDuration::from_millis(10));
+        let pocket_secs = pocket.busy_time().as_secs_f64();
+        let radio_secs = radio.busy_time().as_secs_f64();
+        assert!(
+            (3.0..5.0).contains(&pocket_secs),
+            "pocket trace {pocket_secs:.1}s"
+        );
+        assert!(
+            (35.0..45.0).contains(&radio_secs),
+            "3G trace {radio_secs:.1}s"
+        );
+        assert_eq!(pocket.peak_power().unwrap().milliwatts(), 900);
+        assert!(radio.peak_power().unwrap().milliwatts() > 1_200);
+    }
+
+    #[test]
+    fn hit_rate_study_reproduces_figure17_shape() {
+        let study = run_hit_rate_study(
+            &HitRateConfig::test_scale(21),
+            &[
+                CacheMode::Full,
+                CacheMode::CommunityOnly,
+                CacheMode::PersonalizationOnly,
+            ],
+        );
+        let of = |mode: CacheMode| {
+            study
+                .modes
+                .iter()
+                .find(|m| m.mode == mode)
+                .expect("mode was requested")
+        };
+        let full = of(CacheMode::Full).average_hit_rate;
+        let community = of(CacheMode::CommunityOnly).average_hit_rate;
+        let personal = of(CacheMode::PersonalizationOnly).average_hit_rate;
+
+        // Paper: 65% / 55% / 56.5% — the full cache must beat both
+        // components, and all three land in their neighbourhoods.
+        assert!(
+            full > community && full > personal,
+            "full {full:.2} vs {community:.2}/{personal:.2}"
+        );
+        assert!((0.55..0.80).contains(&full), "full hit rate {full:.2}");
+        assert!(
+            (0.42..0.68).contains(&community),
+            "community {community:.2}"
+        );
+        assert!((0.42..0.68).contains(&personal), "personal {personal:.2}");
+
+        // Hit rate grows with the monthly query volume. At test scale each
+        // class holds only ~20 users, so allow a little sampling slack; the
+        // full-scale study asserts the strict ordering.
+        let summaries = &of(CacheMode::Full).summaries;
+        let rate = |c: UserClass| summaries.iter().find(|s| s.class == c).map(|s| s.hit_rate);
+        if let (Some(low), Some(high)) = (rate(UserClass::Low), rate(UserClass::High)) {
+            assert!(
+                high > low - 0.05,
+                "high-volume {high:.2} far below low-volume {low:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn community_warm_start_dominates_week_one() {
+        let study = run_hit_rate_study(
+            &HitRateConfig::test_scale(5),
+            &[CacheMode::CommunityOnly, CacheMode::PersonalizationOnly],
+        );
+        let week1 = |mode: CacheMode| {
+            let m = study.modes.iter().find(|m| m.mode == mode).unwrap();
+            m.summaries.iter().map(|s| s.hit_rate_week1).sum::<f64>() / m.summaries.len() as f64
+        };
+        // Figure 18(a): in the first week the cold personalization cache
+        // trails the community warm start.
+        assert!(
+            week1(CacheMode::CommunityOnly) > week1(CacheMode::PersonalizationOnly),
+            "community {:.2} vs personal {:.2}",
+            week1(CacheMode::CommunityOnly),
+            week1(CacheMode::PersonalizationOnly)
+        );
+    }
+
+    #[test]
+    fn select_streams_caps_each_class() {
+        let mut g = LogGenerator::new(GeneratorConfig::test_scale(), 3);
+        let month = g.generate_month();
+        let streams = select_streams(&month, 5);
+        let mut per_class = std::collections::BTreeMap::new();
+        for s in &streams {
+            let class = UserClass::classify(s.len() as u32).unwrap();
+            *per_class.entry(class).or_insert(0usize) += 1;
+        }
+        for (&class, &n) in &per_class {
+            assert!(n <= 5, "{class} had {n} streams");
+        }
+        assert!(per_class[&UserClass::Low] == 5);
+    }
+}

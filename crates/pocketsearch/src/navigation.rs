@@ -1,0 +1,98 @@
+//! Navigation user response time (Table 5).
+//!
+//! Search response time is only the first leg of reaching content: the
+//! user still downloads and renders the landing page. Table 5 shows the
+//! end-to-end navigation time for a lightweight (~15 s over 3G) and a
+//! heavyweight (~30 s) page, with PocketSearch shaving the search leg and
+//! yielding up to ~29% faster navigation.
+
+use mobsim::browser::{BrowserModel, PageWeight};
+use mobsim::time::SimDuration;
+
+/// End-to-end navigation time: `search_time` (however the query was
+/// served) plus the page download/render of the given weight.
+pub fn navigation_time(
+    search_time: SimDuration,
+    page: PageWeight,
+    browser: &BrowserModel,
+) -> SimDuration {
+    search_time + browser.page_load(page)
+}
+
+/// Relative navigation speedup of serving search in `fast` instead of
+/// `slow`, for a landing page of the given weight (Table 5's last column).
+pub fn navigation_speedup(
+    fast_search: SimDuration,
+    slow_search: SimDuration,
+    page: PageWeight,
+    browser: &BrowserModel,
+) -> f64 {
+    let fast = navigation_time(fast_search, page, browser);
+    let slow = navigation_time(slow_search, page, browser);
+    (slow.as_secs_f64() - fast.as_secs_f64()) / slow.as_secs_f64() * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobsim::device::Device;
+    use mobsim::radio::RadioKind;
+
+    fn search_times() -> (SimDuration, SimDuration) {
+        let mut d = Device::with_defaults();
+        let hit = d.serve_cache_hit(SimDuration::from_millis(10)).total_time;
+        let mut d = Device::with_defaults();
+        let miss = d.serve_via_radio(RadioKind::ThreeG).total_time;
+        (hit, miss)
+    }
+
+    #[test]
+    fn table5_absolute_times() {
+        // Paper: lightweight 15.378 s vs 21.048 s; heavyweight 30.378 s vs
+        // 36.048 s. Our model lands within a few hundred ms.
+        let browser = BrowserModel::default();
+        let (hit, miss) = search_times();
+        let light_pocket = navigation_time(hit, PageWeight::Lightweight, &browser).as_secs_f64();
+        let light_3g = navigation_time(miss, PageWeight::Lightweight, &browser).as_secs_f64();
+        let heavy_pocket = navigation_time(hit, PageWeight::Heavyweight, &browser).as_secs_f64();
+        let heavy_3g = navigation_time(miss, PageWeight::Heavyweight, &browser).as_secs_f64();
+        assert!(
+            (15.0..16.0).contains(&light_pocket),
+            "light pocket {light_pocket:.2}s"
+        );
+        assert!((20.0..22.5).contains(&light_3g), "light 3G {light_3g:.2}s");
+        assert!(
+            (30.0..31.0).contains(&heavy_pocket),
+            "heavy pocket {heavy_pocket:.2}s"
+        );
+        assert!((35.0..37.5).contains(&heavy_3g), "heavy 3G {heavy_3g:.2}s");
+    }
+
+    #[test]
+    fn table5_speedups() {
+        // Paper: 28.7% for lightweight, 16.7% for heavyweight.
+        let browser = BrowserModel::default();
+        let (hit, miss) = search_times();
+        let light = navigation_speedup(hit, miss, PageWeight::Lightweight, &browser);
+        let heavy = navigation_speedup(hit, miss, PageWeight::Heavyweight, &browser);
+        assert!(
+            (24.0..32.0).contains(&light),
+            "lightweight speedup {light:.1}%"
+        );
+        assert!(
+            (13.0..20.0).contains(&heavy),
+            "heavyweight speedup {heavy:.1}%"
+        );
+        assert!(light > heavy, "lighter pages benefit more from fast search");
+    }
+
+    #[test]
+    fn identical_search_times_give_zero_speedup() {
+        let browser = BrowserModel::default();
+        let t = SimDuration::from_secs(1);
+        assert_eq!(
+            navigation_speedup(t, t, PageWeight::Lightweight, &browser),
+            0.0
+        );
+    }
+}

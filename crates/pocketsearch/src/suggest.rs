@@ -1,0 +1,236 @@
+//! Instant auto-suggest (Figure 1, §5).
+//!
+//! "PocketSearch's ability to retrieve search results fast, can make this
+//! experience richer by enabling the display of actual search results
+//! along with auto-suggest query terms in the auto-suggest box in real
+//! time." As the user types, every keystroke triggers a prefix lookup
+//! over the cached query strings; the top completions are shown together
+//! with their top-ranked cached results — all without the radio.
+//!
+//! The index is a sorted array of cached query strings with binary-search
+//! prefix ranges: simple, compact (the strings are the dominant cost),
+//! and fast enough that a keystroke costs microseconds against the
+//! paper's ~400 ms render budget.
+
+use serde::{Deserialize, Serialize};
+
+use cloudlet_core::cache::PocketCache;
+use cloudlet_core::hashtable::ScoredResult;
+use querylog::ids::stable_hash64;
+
+/// One auto-suggest row: a completed query and its best cached results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Suggestion {
+    /// The completed query string.
+    pub query: String,
+    /// Stable hash of the completed query (for the follow-up serve call).
+    pub query_hash: u64,
+    /// Combined ranking score of the query's cached results.
+    pub score: f32,
+    /// The query's cached results, best first.
+    pub results: Vec<ScoredResult>,
+}
+
+/// A prefix index over the cached query strings.
+///
+/// # Example
+///
+/// ```
+/// use cloudlet_core::cache::{CacheMode, PocketCache};
+/// use cloudlet_core::ranking::RankingPolicy;
+/// use pocketsearch::suggest::SuggestIndex;
+/// use querylog::ids::stable_hash64;
+///
+/// let mut cache = PocketCache::new(CacheMode::Full, RankingPolicy::default());
+/// cache.install_pair(stable_hash64(b"youtube"), 1, 0.9);
+/// cache.install_pair(stable_hash64(b"yahoo mail"), 2, 0.5);
+///
+/// let index = SuggestIndex::build(["youtube", "yahoo mail"], &cache);
+/// let suggestions = index.complete("y", &cache, 5);
+/// assert_eq!(suggestions.len(), 2);
+/// assert_eq!(suggestions[0].query, "youtube"); // higher score first
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SuggestIndex {
+    /// Cached query strings, sorted for binary-search prefix ranges.
+    queries: Vec<String>,
+}
+
+impl SuggestIndex {
+    /// Builds the index from the query strings the cache knows about.
+    /// Strings whose hash misses the cache are dropped — the box only
+    /// ever suggests queries it can actually serve.
+    pub fn build<S: Into<String>>(
+        queries: impl IntoIterator<Item = S>,
+        cache: &PocketCache,
+    ) -> Self {
+        let mut queries: Vec<String> = queries
+            .into_iter()
+            .map(Into::into)
+            .filter(|q| cache.lookup(stable_hash64(q.as_bytes())).is_some())
+            .collect();
+        queries.sort();
+        queries.dedup();
+        SuggestIndex { queries }
+    }
+
+    /// Number of indexed query strings.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// DRAM the index occupies (string bytes plus a pointer-sized slot
+    /// per entry).
+    pub fn footprint_bytes(&self) -> usize {
+        self.queries
+            .iter()
+            .map(|q| q.len() + std::mem::size_of::<String>())
+            .sum()
+    }
+
+    /// All indexed queries sharing `prefix`, in lexicographic order.
+    pub fn prefix_matches(&self, prefix: &str) -> &[String] {
+        if prefix.is_empty() {
+            return &self.queries;
+        }
+        let start = self.queries.partition_point(|q| q.as_str() < prefix);
+        let end = self.queries[start..].partition_point(|q| q.starts_with(prefix)) + start;
+        &self.queries[start..end]
+    }
+
+    /// The top `k` suggestions for the typed `prefix`, scored by the sum
+    /// of each completion's cached result scores (popular and personally
+    /// reinforced queries rise to the top).
+    pub fn complete(&self, prefix: &str, cache: &PocketCache, k: usize) -> Vec<Suggestion> {
+        let mut suggestions: Vec<Suggestion> = self
+            .prefix_matches(prefix)
+            .iter()
+            .filter_map(|q| {
+                let query_hash = stable_hash64(q.as_bytes());
+                let results = cache.lookup(query_hash)?;
+                let score = results.iter().map(|r| r.score).sum();
+                Some(Suggestion {
+                    query: q.clone(),
+                    query_hash,
+                    score,
+                    results,
+                })
+            })
+            .collect();
+        suggestions.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are finite")
+                .then_with(|| a.query.cmp(&b.query))
+        });
+        suggestions.truncate(k);
+        suggestions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudlet_core::cache::CacheMode;
+    use cloudlet_core::ranking::RankingPolicy;
+
+    fn cache_with(queries: &[(&str, f32)]) -> PocketCache {
+        let mut cache = PocketCache::new(CacheMode::Full, RankingPolicy::default());
+        for (i, (q, score)) in queries.iter().enumerate() {
+            cache.install_pair(stable_hash64(q.as_bytes()), i as u64 + 100, *score);
+        }
+        cache
+    }
+
+    #[test]
+    fn prefix_ranges_are_exact() {
+        let cache = cache_with(&[
+            ("face", 0.1),
+            ("facebook", 0.9),
+            ("fandango", 0.5),
+            ("gmail", 0.7),
+        ]);
+        let index = SuggestIndex::build(["face", "facebook", "fandango", "gmail"], &cache);
+        assert_eq!(index.prefix_matches("fa").len(), 3);
+        assert_eq!(index.prefix_matches("face").len(), 2);
+        assert_eq!(index.prefix_matches("facebook").len(), 1);
+        assert_eq!(index.prefix_matches("z").len(), 0);
+        assert_eq!(index.prefix_matches("").len(), 4);
+    }
+
+    #[test]
+    fn completions_rank_by_cached_score() {
+        let cache = cache_with(&[("face", 0.1), ("facebook", 0.9), ("fandango", 0.5)]);
+        let index = SuggestIndex::build(["face", "facebook", "fandango"], &cache);
+        let s = index.complete("fa", &cache, 2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].query, "facebook");
+        assert_eq!(s[1].query, "fandango");
+        assert!(!s[0].results.is_empty());
+    }
+
+    #[test]
+    fn unservable_queries_are_never_suggested() {
+        let cache = cache_with(&[("youtube", 0.9)]);
+        let index = SuggestIndex::build(["youtube", "yellowstone"], &cache);
+        assert_eq!(index.len(), 1, "yellowstone is not cached, so not indexed");
+        assert!(index.complete("ye", &cache, 5).is_empty());
+    }
+
+    #[test]
+    fn personalization_reorders_suggestions() {
+        let mut cache = cache_with(&[("news a", 0.8), ("news b", 0.3)]);
+        let index = SuggestIndex::build(["news a", "news b"], &cache);
+        assert_eq!(index.complete("news", &cache, 1)[0].query, "news a");
+        // The user keeps choosing "news b": its clicked result gains score.
+        for _ in 0..2 {
+            cache.record_click(stable_hash64(b"news b"), 101);
+        }
+        assert_eq!(index.complete("news", &cache, 1)[0].query, "news b");
+    }
+
+    #[test]
+    fn empty_and_duplicate_input_is_handled() {
+        let cache = cache_with(&[("a", 0.5)]);
+        let index = SuggestIndex::build(["a", "a", "a"], &cache);
+        assert_eq!(index.len(), 1);
+        let none = SuggestIndex::build(Vec::<String>::new(), &cache);
+        assert!(none.is_empty());
+        assert!(none.complete("a", &cache, 3).is_empty());
+    }
+
+    #[test]
+    fn footprint_is_string_dominated() {
+        let cache = cache_with(&[("abcdef", 0.5)]);
+        let index = SuggestIndex::build(["abcdef"], &cache);
+        assert_eq!(index.footprint_bytes(), 6 + std::mem::size_of::<String>());
+    }
+
+    #[test]
+    fn keystroke_lookups_are_fast_at_cache_scale() {
+        // A few thousand cached queries (the paper's cache size): every
+        // keystroke must resolve far inside the ~378 ms hit budget.
+        let queries: Vec<String> = (0..4_000).map(|i| format!("query {i:05} text")).collect();
+        let mut cache = PocketCache::new(CacheMode::Full, RankingPolicy::default());
+        for q in &queries {
+            cache.install_pair(stable_hash64(q.as_bytes()), 7, 0.5);
+        }
+        let index = SuggestIndex::build(queries.iter().cloned(), &cache);
+        let started = std::time::Instant::now();
+        let mut total = 0;
+        for prefix in ["q", "qu", "query 0", "query 01", "query 012"] {
+            total += index.complete(prefix, &cache, 8).len();
+        }
+        assert!(total > 0);
+        assert!(
+            started.elapsed().as_millis() < 200,
+            "five keystrokes took {:?}",
+            started.elapsed()
+        );
+    }
+}

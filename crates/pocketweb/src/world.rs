@@ -1,0 +1,223 @@
+//! The simulated web: pages, sizes, and change dynamics.
+
+use mobsim::time::{SimDuration, SimInstant};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Identifies a page in a [`WebWorld`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// The raw index.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "page{}", self.0)
+    }
+}
+
+/// One web page.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PageSpec {
+    /// Identifier (index into [`WebWorld::pages`]).
+    pub id: PageId,
+    /// The page URL.
+    pub url: String,
+    /// Downloaded page weight in bytes.
+    pub bytes: u64,
+    /// How often the content changes. Dynamic pages (news, stocks)
+    /// change many times a day; static pages change weekly or slower.
+    pub change_period: SimDuration,
+    /// Whether the page counts as dynamic for §3.2's policy split.
+    pub dynamic: bool,
+}
+
+impl PageSpec {
+    /// The content version live on the web at instant `now`: versions
+    /// advance once per change period.
+    pub fn live_version(&self, now: SimInstant) -> u64 {
+        now.as_micros() / self.change_period.as_micros().max(1)
+    }
+}
+
+/// Configuration of the simulated web.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Number of pages.
+    pub pages: usize,
+    /// Fraction of pages that are dynamic.
+    pub dynamic_fraction: f64,
+    /// Change period of dynamic pages (CNN updates "every minute and
+    /// sometimes even more frequently"; we default to minutes-scale).
+    pub dynamic_period: SimDuration,
+    /// Change period of static pages.
+    pub static_period: SimDuration,
+    /// Mean page weight in bytes (the paper's www.cnn.com is 1.5 MB; most
+    /// mobile pages are much lighter).
+    pub mean_page_bytes: u64,
+    /// Fraction of a page's bytes a real-time update pushes: content
+    /// changes incrementally, so the push stream ships deltas rather than
+    /// whole pages.
+    pub delta_fraction: f64,
+}
+
+impl WorldConfig {
+    /// A small world for tests.
+    pub fn test_scale() -> Self {
+        WorldConfig {
+            pages: 200,
+            dynamic_fraction: 0.2,
+            dynamic_period: SimDuration::from_secs(15 * 60),
+            static_period: SimDuration::from_secs(7 * 24 * 3_600),
+            mean_page_bytes: 200_000,
+            delta_fraction: 0.05,
+        }
+    }
+
+    /// A larger world for the policy study.
+    pub fn full_scale() -> Self {
+        WorldConfig {
+            pages: 5_000,
+            ..WorldConfig::test_scale()
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.pages > 0, "the web needs at least one page");
+        assert!(
+            (0.0..=1.0).contains(&self.dynamic_fraction),
+            "dynamic_fraction must be within [0, 1]"
+        );
+        assert!(self.dynamic_period > SimDuration::ZERO);
+        assert!(self.static_period > SimDuration::ZERO);
+        assert!(
+            (0.0..=1.0).contains(&self.delta_fraction),
+            "delta_fraction must be within [0, 1]"
+        );
+    }
+}
+
+/// The simulated web.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WebWorld {
+    config: WorldConfig,
+    pages: Vec<PageSpec>,
+}
+
+impl WebWorld {
+    /// Generates a world deterministically from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration.
+    pub fn generate(config: WorldConfig, seed: u64) -> Self {
+        config.validate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pages = (0..config.pages)
+            .map(|i| {
+                let dynamic = rng.random::<f64>() < config.dynamic_fraction;
+                // Page weights spread around the mean (half to double).
+                let bytes =
+                    (config.mean_page_bytes as f64 * rng.random_range(0.5..2.0)).round() as u64;
+                PageSpec {
+                    id: PageId(i as u32),
+                    url: if dynamic {
+                        format!("www.news{i:04}.com")
+                    } else {
+                        format!("www.site{i:04}.org/page")
+                    },
+                    bytes,
+                    change_period: if dynamic {
+                        config.dynamic_period
+                    } else {
+                        config.static_period
+                    },
+                    dynamic,
+                }
+            })
+            .collect();
+        WebWorld { config, pages }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &WorldConfig {
+        &self.config
+    }
+
+    /// All pages.
+    pub fn pages(&self) -> &[PageSpec] {
+        &self.pages
+    }
+
+    /// Looks up one page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this world.
+    pub fn page(&self, id: PageId) -> &PageSpec {
+        &self.pages[id.as_usize()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_sized() {
+        let a = WebWorld::generate(WorldConfig::test_scale(), 5);
+        let b = WebWorld::generate(WorldConfig::test_scale(), 5);
+        assert_eq!(a, b);
+        assert_eq!(a.pages().len(), 200);
+    }
+
+    #[test]
+    fn dynamic_fraction_is_respected() {
+        let w = WebWorld::generate(WorldConfig::test_scale(), 9);
+        let dynamic = w.pages().iter().filter(|p| p.dynamic).count() as f64;
+        let frac = dynamic / w.pages().len() as f64;
+        assert!((frac - 0.2).abs() < 0.08, "dynamic fraction was {frac}");
+    }
+
+    #[test]
+    fn versions_advance_with_time() {
+        let w = WebWorld::generate(WorldConfig::test_scale(), 1);
+        let news = w
+            .pages()
+            .iter()
+            .find(|p| p.dynamic)
+            .expect("world has news pages");
+        let v0 = news.live_version(SimInstant::ZERO);
+        let later = SimInstant::ZERO + SimDuration::from_secs(3_600);
+        assert!(news.live_version(later) > v0, "an hour brings fresh news");
+
+        let page = w
+            .pages()
+            .iter()
+            .find(|p| !p.dynamic)
+            .expect("world has static pages");
+        assert_eq!(
+            page.live_version(SimInstant::ZERO),
+            page.live_version(later),
+            "static pages survive an hour unchanged"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn empty_world_is_rejected() {
+        let _ = WebWorld::generate(
+            WorldConfig {
+                pages: 0,
+                ..WorldConfig::test_scale()
+            },
+            0,
+        );
+    }
+}

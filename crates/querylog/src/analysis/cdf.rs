@@ -1,0 +1,209 @@
+//! Cumulative volume CDFs (Figure 4).
+//!
+//! Figure 4 plots the cumulative query volume (a) and clicked-search-result
+//! volume (b) as a function of the number of most popular queries/results,
+//! overall and broken down by navigational class and device class. The
+//! headline: the 6,000 most popular queries and 4,000 most popular results
+//! carry about 60% of their respective volumes.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::log::{LogEntry, SearchLog};
+
+/// A cumulative-share curve over popularity ranks.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CdfCurve {
+    /// `shares[k-1]` is the volume share of the `k` most popular items.
+    shares: Vec<f64>,
+    /// Total volume the curve was computed over.
+    total: u64,
+}
+
+impl CdfCurve {
+    /// Builds a curve from per-item volumes (any order).
+    pub fn from_volumes(mut volumes: Vec<u64>) -> Self {
+        volumes.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = volumes.iter().sum();
+        let mut shares = Vec::with_capacity(volumes.len());
+        let mut acc = 0u64;
+        for v in volumes {
+            acc += v;
+            shares.push(if total == 0 {
+                0.0
+            } else {
+                acc as f64 / total as f64
+            });
+        }
+        CdfCurve { shares, total }
+    }
+
+    /// Number of distinct items behind the curve.
+    pub fn distinct_items(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// Total volume behind the curve.
+    pub fn total_volume(&self) -> u64 {
+        self.total
+    }
+
+    /// Volume share of the `k` most popular items (1 for `k` ≥ items).
+    pub fn share_at(&self, k: usize) -> f64 {
+        if self.shares.is_empty() || k == 0 {
+            0.0
+        } else {
+            self.shares[k.min(self.shares.len()) - 1]
+        }
+    }
+
+    /// The smallest `k` whose share reaches `target`, or `None` if the
+    /// curve never gets there.
+    pub fn rank_for_share(&self, target: f64) -> Option<usize> {
+        self.shares.iter().position(|&s| s >= target).map(|i| i + 1)
+    }
+
+    /// Down-samples the curve into `(rank, share)` points for plotting.
+    pub fn sample_points(&self, n_points: usize) -> Vec<(usize, f64)> {
+        if self.shares.is_empty() || n_points == 0 {
+            return Vec::new();
+        }
+        let n = self.shares.len();
+        let step = (n / n_points.max(1)).max(1);
+        let mut points: Vec<(usize, f64)> = (0..n)
+            .step_by(step)
+            .map(|i| (i + 1, self.shares[i]))
+            .collect();
+        if points.last().map(|&(k, _)| k) != Some(n) {
+            points.push((n, self.shares[n - 1]));
+        }
+        points
+    }
+}
+
+/// Cumulative query-volume curve (Figure 4a) over entries passing `keep`.
+pub fn query_volume_cdf(log: &SearchLog, keep: impl Fn(&LogEntry) -> bool) -> CdfCurve {
+    let mut counts = HashMap::new();
+    for e in log.iter().filter(|e| keep(e)) {
+        *counts.entry(e.query).or_insert(0u64) += 1;
+    }
+    CdfCurve::from_volumes(counts.into_values().collect())
+}
+
+/// Cumulative clicked-result-volume curve (Figure 4b) over entries passing
+/// `keep`.
+pub fn result_volume_cdf(log: &SearchLog, keep: impl Fn(&LogEntry) -> bool) -> CdfCurve {
+    let mut counts = HashMap::new();
+    for e in log.iter().filter(|e| keep(e)) {
+        *counts.entry(e.result).or_insert(0u64) += 1;
+    }
+    CdfCurve::from_volumes(counts.into_values().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, LogGenerator};
+    use crate::log::DeviceClass;
+    use crate::universe::QueryKind;
+
+    fn month() -> SearchLog {
+        LogGenerator::new(GeneratorConfig::test_scale(), 23).generate_month()
+    }
+
+    #[test]
+    fn curve_basics() {
+        let c = CdfCurve::from_volumes(vec![1, 5, 4]);
+        assert_eq!(c.distinct_items(), 3);
+        assert_eq!(c.total_volume(), 10);
+        assert!((c.share_at(1) - 0.5).abs() < 1e-12);
+        assert!((c.share_at(2) - 0.9).abs() < 1e-12);
+        assert!((c.share_at(100) - 1.0).abs() < 1e-12);
+        assert_eq!(c.share_at(0), 0.0);
+        assert_eq!(c.rank_for_share(0.9), Some(2));
+        assert_eq!(c.rank_for_share(1.1), None);
+    }
+
+    #[test]
+    fn generated_log_has_a_heavy_head() {
+        // The test-scale analogue of "6,000 queries ≈ 60% of volume": the
+        // scaled head (200 results / ~300 queries) carries ~60%.
+        let log = month();
+        let q = query_volume_cdf(&log, |_| true);
+        let r = result_volume_cdf(&log, |_| true);
+        let q_share = q.share_at(300);
+        let r_share = r.share_at(200);
+        assert!(
+            (0.50..0.75).contains(&q_share),
+            "query head share {q_share}"
+        );
+        assert!(
+            (0.50..0.75).contains(&r_share),
+            "result head share {r_share}"
+        );
+    }
+
+    #[test]
+    fn fewer_results_than_queries_reach_the_same_share() {
+        // Figure 4: 6,000 queries vs 4,000 results for 60% — misspellings
+        // and shortcuts funnel many queries into fewer results.
+        let log = month();
+        let q = query_volume_cdf(&log, |_| true);
+        let r = result_volume_cdf(&log, |_| true);
+        let q_rank = q.rank_for_share(0.6).expect("query curve reaches 60%");
+        let r_rank = r.rank_for_share(0.6).expect("result curve reaches 60%");
+        assert!(
+            r_rank < q_rank,
+            "results should concentrate harder: {r_rank} vs {q_rank}"
+        );
+    }
+
+    #[test]
+    fn navigational_queries_concentrate_harder() {
+        let log = month();
+        let nav = query_volume_cdf(&log, |e| e.kind == QueryKind::Navigational);
+        let nonnav = query_volume_cdf(&log, |e| e.kind == QueryKind::NonNavigational);
+        // At the scaled rank (125 ~ paper's 5,000), nav is far above non-nav.
+        let nav_share = nav.share_at(125);
+        let nonnav_share = nonnav.share_at(125);
+        assert!(
+            nav_share > nonnav_share + 0.15,
+            "nav {nav_share} vs non-nav {nonnav_share}"
+        );
+    }
+
+    #[test]
+    fn featurephone_volume_is_more_concentrated() {
+        let log = month();
+        let fp = query_volume_cdf(&log, |e| e.device == DeviceClass::FeaturePhone);
+        let sp = query_volume_cdf(&log, |e| e.device == DeviceClass::Smartphone);
+        // Figure 4 compares at a fixed absolute rank: featurephone access is
+        // more concentrated, so its curve sits above the smartphone curve.
+        let k = 150;
+        assert!(
+            fp.share_at(k) > sp.share_at(k),
+            "featurephone {} vs smartphone {}",
+            fp.share_at(k),
+            sp.share_at(k)
+        );
+    }
+
+    #[test]
+    fn sample_points_cover_the_full_range() {
+        let c = CdfCurve::from_volumes((1..=100u64).collect());
+        let pts = c.sample_points(10);
+        assert!(pts.len() >= 10);
+        assert_eq!(pts.first().unwrap().0, 1);
+        assert_eq!(pts.last().unwrap().0, 100);
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_log_yields_empty_curve() {
+        let c = query_volume_cdf(&SearchLog::default(), |_| true);
+        assert_eq!(c.distinct_items(), 0);
+        assert_eq!(c.share_at(5), 0.0);
+        assert!(c.sample_points(5).is_empty());
+    }
+}

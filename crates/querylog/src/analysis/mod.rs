@@ -1,0 +1,19 @@
+//! The log-analysis toolkit of §4.
+//!
+//! These are the computations the paper runs over the m.bing.com logs to
+//! characterize mobile search:
+//!
+//! * [`cdf`] — cumulative volume vs top-k queries / clicked results
+//!   (Figure 4), with navigational and device-class breakdowns.
+//! * [`repeat`] — per-user new-query probability and its distribution
+//!   across users (Figure 5).
+//! * [`stats`] — summary statistics: unique-result fraction (§5.2.1),
+//!   user-class histograms (Table 6), per-user URL counts (§2).
+
+pub mod cdf;
+pub mod repeat;
+pub mod stats;
+
+pub use cdf::{query_volume_cdf, result_volume_cdf, CdfCurve};
+pub use repeat::{new_query_probabilities, NewQueryDistribution};
+pub use stats::LogStats;

@@ -1,0 +1,191 @@
+//! Query repeatability across individual users (Figure 5, §4.2).
+//!
+//! The paper calls a query *repeated* when the user submits the same query
+//! string **and** clicks the same search result as before. Figure 5 plots,
+//! across users, the probability of submitting a *new* (non-repeated)
+//! query within a month. The headline: about half of mobile users submit a
+//! new query at most 30% of the time, and the average repeat rate (56.5%)
+//! exceeds the desktop's 40%.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::log::{LogEntry, SearchLog};
+
+/// The distribution of per-user new-query probabilities.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NewQueryDistribution {
+    /// One probability per user, sorted ascending.
+    probs: Vec<f64>,
+}
+
+impl NewQueryDistribution {
+    /// Builds a distribution from raw per-user probabilities.
+    pub fn new(mut probs: Vec<f64>) -> Self {
+        probs.sort_by(|a, b| a.partial_cmp(b).expect("probabilities are finite"));
+        NewQueryDistribution { probs }
+    }
+
+    /// Number of users in the distribution.
+    pub fn users(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether the distribution holds no users.
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Fraction of users whose new-query probability is at most `p`
+    /// (the y-axis of Figure 5).
+    pub fn fraction_at_most(&self, p: f64) -> f64 {
+        if self.probs.is_empty() {
+            return 0.0;
+        }
+        let count = self.probs.iter().take_while(|&&x| x <= p).count();
+        count as f64 / self.probs.len() as f64
+    }
+
+    /// Mean new-query probability across users.
+    pub fn mean(&self) -> f64 {
+        if self.probs.is_empty() {
+            return 0.0;
+        }
+        self.probs.iter().sum::<f64>() / self.probs.len() as f64
+    }
+
+    /// Mean *repeat* rate across users (`1 - mean new-query probability`).
+    pub fn mean_repeat_rate(&self) -> f64 {
+        1.0 - self.mean()
+    }
+
+    /// `(new-query probability, fraction of users at or below)` points for
+    /// plotting Figure 5.
+    pub fn curve_points(&self, n_points: usize) -> Vec<(f64, f64)> {
+        (0..=n_points)
+            .map(|i| {
+                let p = i as f64 / n_points as f64;
+                (p, self.fraction_at_most(p))
+            })
+            .collect()
+    }
+}
+
+/// Computes each user's new-query probability over a log window, counting
+/// only entries that pass `keep` (e.g. restricting to navigational
+/// queries, as Figure 5 also plots).
+///
+/// Users with no qualifying entries are omitted.
+pub fn new_query_probabilities(
+    log: &SearchLog,
+    keep: impl Fn(&LogEntry) -> bool,
+) -> NewQueryDistribution {
+    let mut probs = Vec::new();
+    for user in log.users() {
+        let mut seen = HashSet::new();
+        let mut total = 0u32;
+        let mut new = 0u32;
+        for e in log.iter().filter(|e| e.user == user && keep(e)) {
+            total += 1;
+            if seen.insert((e.query, e.result)) {
+                new += 1;
+            }
+        }
+        if total > 0 {
+            probs.push(f64::from(new) / f64::from(total));
+        }
+    }
+    NewQueryDistribution::new(probs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, LogGenerator};
+    use crate::ids::{PairId, QueryId, ResultId, UserId};
+    use crate::log::{DeviceClass, Timestamp};
+    use crate::universe::QueryKind;
+
+    fn entry(user: u32, seq: u64, query: u32, result: u32) -> LogEntry {
+        LogEntry {
+            user: UserId::new(user),
+            time: Timestamp::new(0, seq),
+            pair: PairId::new(query),
+            query: QueryId::new(query),
+            result: ResultId::new(result),
+            kind: QueryKind::NonNavigational,
+            device: DeviceClass::Smartphone,
+        }
+    }
+
+    #[test]
+    fn repeat_requires_same_query_and_same_result() {
+        // q0->r0, q0->r0 (repeat), q0->r1 (same query, different click: NEW).
+        let log = SearchLog::new(
+            vec![entry(0, 0, 0, 0), entry(0, 1, 0, 0), entry(0, 2, 0, 1)],
+            28,
+        );
+        let d = new_query_probabilities(&log, |_| true);
+        assert_eq!(d.users(), 1);
+        assert!((d.mean() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_occurrence_is_always_new() {
+        let log = SearchLog::new(vec![entry(0, 0, 1, 1)], 28);
+        let d = new_query_probabilities(&log, |_| true);
+        assert!((d.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_at_most_is_a_cdf() {
+        let d = NewQueryDistribution::new(vec![0.1, 0.3, 0.5, 0.9]);
+        assert_eq!(d.fraction_at_most(0.0), 0.0);
+        assert!((d.fraction_at_most(0.3) - 0.5).abs() < 1e-12);
+        assert!((d.fraction_at_most(1.0) - 1.0).abs() < 1e-12);
+        let pts = d.curve_points(10);
+        assert_eq!(pts.len(), 11);
+        assert!(
+            pts.windows(2).all(|w| w[0].1 <= w[1].1),
+            "CDF must be monotone"
+        );
+    }
+
+    #[test]
+    fn generated_population_matches_figure5() {
+        // ~half of users submit a new query at most ~30% of the time.
+        let mut g = LogGenerator::new(GeneratorConfig::test_scale(), 5);
+        let log = g.generate_month();
+        let d = new_query_probabilities(&log, |_| true);
+        let heavy = d.fraction_at_most(0.30);
+        assert!(
+            (0.35..0.65).contains(&heavy),
+            "fraction of heavy repeaters was {heavy}, expected ~0.5"
+        );
+        // Mean repeat rate near the paper's 56.5% (within a generous band).
+        let repeat = d.mean_repeat_rate();
+        assert!(
+            (0.45..0.70).contains(&repeat),
+            "mean repeat rate was {repeat}"
+        );
+    }
+
+    #[test]
+    fn kind_filter_restricts_the_population() {
+        let mut g = LogGenerator::new(GeneratorConfig::test_scale(), 6);
+        let log = g.generate_month();
+        let nav = new_query_probabilities(&log, |e| e.kind == QueryKind::Navigational);
+        let all = new_query_probabilities(&log, |_| true);
+        assert!(nav.users() <= all.users());
+        assert!(nav.users() > 0);
+    }
+
+    #[test]
+    fn empty_distribution_is_well_behaved() {
+        let d = new_query_probabilities(&SearchLog::default(), |_| true);
+        assert!(d.is_empty());
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.fraction_at_most(0.5), 0.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! The log generator: universe + user population → [`SearchLog`]s.
+//!
+//! The generator owns a [`Universe`] and a population of [`UserProfile`]s
+//! and can emit month-long community logs (what the update server mines)
+//! and per-user query streams (what §6.2 replays against PocketSearch).
+//! Successive calls to [`LogGenerator::generate_month`] model successive
+//! calendar months: the population and its behaviour are stationary, but
+//! every draw is fresh, so the cache-construction month and the replay
+//! month are non-overlapping, exactly as in the paper.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::ids::UserId;
+use crate::log::{LogEntry, SearchLog};
+use crate::universe::{Universe, UniverseConfig};
+use crate::users::{BehaviorConfig, UserProfile};
+
+/// Configuration of a [`LogGenerator`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// The universe to draw from.
+    pub universe: UniverseConfig,
+    /// Behavioural model knobs.
+    pub behavior: BehaviorConfig,
+    /// Number of users in the population.
+    pub n_users: usize,
+    /// Days per generated month (28 = four exact weeks, easing the
+    /// Figure 18 week splits).
+    pub days_per_month: u16,
+}
+
+impl GeneratorConfig {
+    /// Full-scale configuration for figure/table regeneration.
+    pub fn full_scale() -> Self {
+        GeneratorConfig {
+            universe: UniverseConfig::full_scale(),
+            behavior: BehaviorConfig::default(),
+            n_users: 4_000,
+            days_per_month: 28,
+        }
+    }
+
+    /// Small configuration for fast tests.
+    pub fn test_scale() -> Self {
+        GeneratorConfig {
+            universe: UniverseConfig::test_scale(),
+            behavior: BehaviorConfig::default(),
+            n_users: 300,
+            days_per_month: 28,
+        }
+    }
+}
+
+/// Generates synthetic mobile search logs.
+///
+/// # Example
+///
+/// ```
+/// use querylog::generator::{GeneratorConfig, LogGenerator};
+///
+/// let mut generator = LogGenerator::new(GeneratorConfig::test_scale(), 9);
+/// let build_month = generator.generate_month();
+/// let replay_month = generator.generate_month();
+/// // Same population, fresh draws: non-overlapping evaluation data.
+/// assert_eq!(build_month.users().len(), replay_month.users().len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogGenerator {
+    config: GeneratorConfig,
+    universe: Universe,
+    profiles: Vec<UserProfile>,
+    rng: StdRng,
+}
+
+impl LogGenerator {
+    /// Builds the universe and user population deterministically from
+    /// `seed`.
+    pub fn new(config: GeneratorConfig, seed: u64) -> Self {
+        let universe = Universe::generate(config.universe, seed);
+        let mut rng =
+            StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1));
+        let profiles = (0..config.n_users)
+            .map(|i| {
+                UserProfile::generate(UserId::new(i as u32), &universe, &config.behavior, &mut rng)
+            })
+            .collect();
+        LogGenerator {
+            config,
+            universe,
+            profiles,
+            rng,
+        }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// The shared universe.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// The user population.
+    pub fn profiles(&self) -> &[UserProfile] {
+        &self.profiles
+    }
+
+    /// The profile of one user.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is outside the population.
+    pub fn profile(&self, user: UserId) -> &UserProfile {
+        &self.profiles[user.as_usize()]
+    }
+
+    /// Generates one month of activity for the whole population.
+    pub fn generate_month(&mut self) -> SearchLog {
+        let mut entries = Vec::new();
+        for i in 0..self.profiles.len() {
+            let user = UserId::new(i as u32);
+            self.append_user_month(user, &mut entries);
+        }
+        SearchLog::new(entries, self.config.days_per_month)
+    }
+
+    /// Generates one month of activity for a single user.
+    pub fn generate_user_month(&mut self, user: UserId) -> Vec<LogEntry> {
+        let mut entries = Vec::new();
+        self.append_user_month(user, &mut entries);
+        entries.sort_by_key(|e| e.time);
+        entries
+    }
+
+    fn append_user_month(&mut self, user: UserId, out: &mut Vec<LogEntry>) {
+        let profile = &self.profiles[user.as_usize()];
+        let volume = profile.monthly_volume;
+        let days = u32::from(self.config.days_per_month);
+        for i in 0..volume {
+            let pair_id = profile.next_pair(&self.universe, &mut self.rng);
+            let pair = self.universe.pair(pair_id);
+            // Spread the user's queries evenly across the month, with a
+            // random time of day.
+            let day = (u64::from(i) * u64::from(days) / u64::from(volume)) as u16;
+            let micros_of_day = self.rng.random_range(0..86_400_000_000u64);
+            out.push(LogEntry {
+                user,
+                time: crate::log::Timestamp::new(day, micros_of_day),
+                pair: pair_id,
+                query: pair.query,
+                result: pair.result,
+                kind: pair.kind,
+                device: profile.device,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::users::UserClass;
+
+    fn generator() -> LogGenerator {
+        LogGenerator::new(GeneratorConfig::test_scale(), 42)
+    }
+
+    #[test]
+    fn month_volume_matches_profiles() {
+        let mut g = generator();
+        let expected: u32 = g.profiles().iter().map(|p| p.monthly_volume).sum();
+        let log = g.generate_month();
+        assert_eq!(log.len() as u32, expected);
+    }
+
+    #[test]
+    fn every_user_appears_with_their_volume() {
+        let mut g = generator();
+        let log = g.generate_month();
+        let volumes = log.volumes_by_user();
+        for p in g.profiles() {
+            assert_eq!(volumes[&p.id], p.monthly_volume, "user {}", p.id);
+        }
+    }
+
+    #[test]
+    fn entries_are_consistent_with_the_universe() {
+        let mut g = generator();
+        let log = g.generate_month();
+        for e in log.iter().take(500) {
+            let pair = g.universe().pair(e.pair);
+            assert_eq!(pair.query, e.query);
+            assert_eq!(pair.result, e.result);
+            assert_eq!(pair.kind, e.kind);
+        }
+    }
+
+    #[test]
+    fn months_are_non_overlapping_draws() {
+        let mut g = generator();
+        let m1 = g.generate_month();
+        let m2 = g.generate_month();
+        // Identical population, different realizations.
+        assert_eq!(m1.users(), m2.users());
+        let stream1 = m1.user_stream(UserId::new(0));
+        let stream2 = m2.user_stream(UserId::new(0));
+        let pairs1: Vec<_> = stream1.iter().map(|e| e.pair).collect();
+        let pairs2: Vec<_> = stream2.iter().map(|e| e.pair).collect();
+        assert_ne!(pairs1, pairs2, "two months produced identical streams");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = LogGenerator::new(GeneratorConfig::test_scale(), 7);
+        let mut b = LogGenerator::new(GeneratorConfig::test_scale(), 7);
+        assert_eq!(a.generate_month(), b.generate_month());
+    }
+
+    #[test]
+    fn days_span_the_configured_month() {
+        let mut g = generator();
+        let log = g.generate_month();
+        let max_day = log.iter().map(|e| e.time.day).max().unwrap();
+        assert!(max_day < g.config().days_per_month);
+        // A medium-or-better user has activity in every week.
+        let heavy = g
+            .profiles()
+            .iter()
+            .find(|p| p.class >= UserClass::Medium)
+            .expect("population has a medium user");
+        let stream = log.user_stream(heavy.id);
+        let weeks: std::collections::BTreeSet<u16> = stream.iter().map(|e| e.time.week()).collect();
+        assert_eq!(weeks.len(), 4, "expected activity in all four weeks");
+    }
+
+    #[test]
+    fn single_user_month_matches_population_shape() {
+        let mut g = generator();
+        let user = UserId::new(3);
+        let stream = g.generate_user_month(user);
+        assert_eq!(stream.len() as u32, g.profile(user).monthly_volume);
+        assert!(stream.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+}

@@ -1,0 +1,64 @@
+//! Synthetic mobile search log generation and analysis.
+//!
+//! The Pocket Cloudlets paper characterizes mobile search with 200 million
+//! queries from the m.bing.com logs (§4) and replays per-user query streams
+//! extracted from them (§6.2). Those logs are proprietary, so this crate
+//! provides the closest synthetic equivalent: a generator whose output is
+//! *calibrated to every distributional statistic the paper reports*, plus
+//! the analysis toolkit the paper runs over its logs. Downstream crates
+//! (cache construction, trace replay) only consume [`SearchLog`] and the
+//! triplet summaries, so they exercise the same code paths the real logs
+//! would.
+//!
+//! Calibration targets (see `DESIGN.md` §5):
+//!
+//! * top ~6,000 queries ≈ 60% of query volume; top ~4,000 clicked results
+//!   ≈ 60% of click volume (Figure 4);
+//! * navigational queries far more concentrated than non-navigational
+//!   (90% vs <30% at the same rank — Figure 4);
+//! * ~50% of users submit a new query at most ~30% of the time (Figure 5);
+//! * user classes by monthly volume: 55% / 36% / 8% / 1% (Table 6);
+//! * ~60% of popular search results are unique to one query (§5.2.1).
+//!
+//! # Modules
+//!
+//! * [`ids`] — newtype identifiers and the stable 64-bit hash.
+//! * [`zipf`] — the two-segment Zipf popularity machinery.
+//! * [`universe`] — the synthetic query/result/pair universe.
+//! * [`users`] — user classes and per-user behavioural profiles.
+//! * [`log`] — log entries, timestamps, and the [`SearchLog`] container.
+//! * [`generator`] — turns a universe + user population into logs.
+//! * [`io`] — text import/export, so real traces can be replayed.
+//! * [`triplets`] — `(query, result, volume)` extraction (Table 3).
+//! * [`analysis`] — CDFs, repeatability, user classing, summary stats.
+//!
+//! # Example
+//!
+//! ```
+//! use querylog::generator::{GeneratorConfig, LogGenerator};
+//!
+//! let config = GeneratorConfig::test_scale();
+//! let mut generator = LogGenerator::new(config, 42);
+//! let log = generator.generate_month();
+//! assert!(!log.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod generator;
+pub mod ids;
+pub mod io;
+pub mod log;
+pub mod triplets;
+pub mod universe;
+pub mod users;
+pub mod zipf;
+
+pub use generator::{GeneratorConfig, LogGenerator};
+pub use ids::{stable_hash64, PairId, QueryId, ResultId, UserId};
+pub use log::{DeviceClass, LogEntry, SearchLog, Timestamp};
+pub use triplets::{Triplet, TripletTable};
+pub use universe::{PairSpec, QueryKind, QuerySpec, ResultSpec, Universe, UniverseConfig};
+pub use users::{UserClass, UserProfile};

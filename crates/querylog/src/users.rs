@@ -1,0 +1,460 @@
+//! User classes and per-user behavioural profiles.
+//!
+//! Table 6 of the paper groups mobile users by monthly query volume
+//! (low/medium/high/extreme at 55% / 36% / 8% / 1% of the population), and
+//! §4.2 measures how strongly individuals repeat queries: roughly half of
+//! all users submit a *new* query at most 30% of the time. [`UserProfile`]
+//! encodes those behaviours as a generative model: each user owns a small
+//! popularity-biased *repertoire* of favourite `(query, result)` pairs they
+//! keep re-issuing, and otherwise explores the wider universe with a
+//! tail-leaning bias (genuinely new information needs are diverse).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{PairId, UserId};
+use crate::log::DeviceClass;
+use crate::universe::{QueryKind, Segment, Universe};
+use crate::zipf::WeightedIndex;
+
+/// Monthly-volume user classes (Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum UserClass {
+    /// 20–39 queries per month (55% of users).
+    Low,
+    /// 40–139 queries per month (36% of users).
+    Medium,
+    /// 140–459 queries per month (8% of users).
+    High,
+    /// 460+ queries per month (1% of users).
+    Extreme,
+}
+
+impl UserClass {
+    /// All classes, in Table 6 order.
+    pub const ALL: [UserClass; 4] = [
+        UserClass::Low,
+        UserClass::Medium,
+        UserClass::High,
+        UserClass::Extreme,
+    ];
+
+    /// The `[low, high)` monthly query-volume range of the class. The
+    /// extreme class is capped at 1,000 for generation purposes.
+    pub fn volume_range(self) -> (u32, u32) {
+        match self {
+            UserClass::Low => (20, 40),
+            UserClass::Medium => (40, 140),
+            UserClass::High => (140, 460),
+            UserClass::Extreme => (460, 1_000),
+        }
+    }
+
+    /// Fraction of the (eligible) user population in this class.
+    pub fn population_share(self) -> f64 {
+        match self {
+            UserClass::Low => 0.55,
+            UserClass::Medium => 0.36,
+            UserClass::High => 0.08,
+            UserClass::Extreme => 0.01,
+        }
+    }
+
+    /// Classifies a monthly volume, or `None` below the paper's 20-query
+    /// eligibility floor.
+    pub fn classify(monthly_volume: u32) -> Option<UserClass> {
+        match monthly_volume {
+            0..=19 => None,
+            20..=39 => Some(UserClass::Low),
+            40..=139 => Some(UserClass::Medium),
+            140..=459 => Some(UserClass::High),
+            _ => Some(UserClass::Extreme),
+        }
+    }
+}
+
+impl std::fmt::Display for UserClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UserClass::Low => write!(f, "Low Volume"),
+            UserClass::Medium => write!(f, "Medium Volume"),
+            UserClass::High => write!(f, "High Volume"),
+            UserClass::Extreme => write!(f, "Extreme Volume"),
+        }
+    }
+}
+
+/// Knobs of the behavioural model, exposed for calibration experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BehaviorConfig {
+    /// Fraction of users in the habitual (high-repeat) group.
+    pub habitual_share: f64,
+    /// Repertoire-draw probability range for habitual users.
+    pub habitual_repeat: (f64, f64),
+    /// Repertoire-draw probability range for exploratory users.
+    pub exploratory_repeat: (f64, f64),
+    /// Additive repeat-probability uplift per class (Low..Extreme);
+    /// heavier users repeat more (§6.2.1).
+    pub class_repeat_uplift: [f64; 4],
+    /// Probability an exploratory draw comes from the popular head.
+    pub explore_head_prob: f64,
+    /// Extra head bias for featurephone users (their constrained browsers
+    /// concentrate access, Figure 4).
+    pub featurephone_head_boost: f64,
+    /// Fraction of repertoire pairs drawn from the tail (personal niches).
+    pub repertoire_tail_frac: f64,
+    /// Zipf exponent over the repertoire (favourites dominate).
+    pub repertoire_zipf_s: f64,
+    /// Navigational share of exploratory draws per class; heavier users
+    /// diversify into non-navigational queries (Figure 19).
+    pub nav_share_by_class: [f64; 4],
+    /// Fraction of users on featurephones.
+    pub featurephone_share: f64,
+    /// Multiplier from monthly volume to repertoire size (on sqrt(volume)).
+    pub repertoire_scale: f64,
+    /// Probability that a repertoire re-issue re-draws the clicked result
+    /// from the query's results by popularity weight, instead of sticking
+    /// to the exact favourite pair (the Table 3 "michael jackson" pattern
+    /// of near-equal volume on a query's two results).
+    pub sibling_swap_prob: f64,
+    /// Probability that a repertoire re-issue reaches its result through a
+    /// different alias query — the day-to-day misspellings and shortcuts
+    /// that funnel many query strings into one popular result (§4.1).
+    pub alias_swap_prob: f64,
+}
+
+impl Default for BehaviorConfig {
+    fn default() -> Self {
+        BehaviorConfig {
+            habitual_share: 0.5,
+            habitual_repeat: (0.88, 0.98),
+            exploratory_repeat: (0.10, 0.50),
+            class_repeat_uplift: [0.0, 0.02, 0.05, 0.07],
+            explore_head_prob: 0.10,
+            featurephone_head_boost: 0.25,
+            repertoire_tail_frac: 0.25,
+            repertoire_zipf_s: 1.3,
+            nav_share_by_class: [0.62, 0.57, 0.48, 0.42],
+            featurephone_share: 0.35,
+            repertoire_scale: 0.45,
+            sibling_swap_prob: 0.95,
+            alias_swap_prob: 0.12,
+        }
+    }
+}
+
+/// A generated mobile user.
+#[derive(Debug, Clone)]
+pub struct UserProfile {
+    /// User identifier.
+    pub id: UserId,
+    /// Volume class (Table 6).
+    pub class: UserClass,
+    /// Handset class.
+    pub device: DeviceClass,
+    /// Queries this user will submit in a month.
+    pub monthly_volume: u32,
+    /// The favourite pairs the user keeps re-issuing.
+    pub repertoire: Vec<PairId>,
+    /// Probability a query event re-issues from the repertoire.
+    pub repeat_prob: f64,
+    /// Probability an exploratory draw comes from the popular head.
+    pub explore_head_prob: f64,
+    /// Probability an exploratory draw is navigational.
+    pub nav_share: f64,
+    /// Probability a repertoire re-issue re-draws its result by weight.
+    pub sibling_swap_prob: f64,
+    /// Probability a repertoire re-issue goes through a different alias.
+    pub alias_swap_prob: f64,
+    repertoire_sampler: WeightedIndex,
+}
+
+impl UserProfile {
+    /// Generates one user against a universe.
+    pub fn generate(
+        id: UserId,
+        universe: &Universe,
+        behavior: &BehaviorConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        // Class by population share.
+        let class = {
+            let x: f64 = rng.random();
+            let mut acc = 0.0;
+            let mut chosen = UserClass::Extreme;
+            for c in UserClass::ALL {
+                acc += c.population_share();
+                if x < acc {
+                    chosen = c;
+                    break;
+                }
+            }
+            chosen
+        };
+        let (lo, hi) = class.volume_range();
+        let monthly_volume = rng.random_range(lo..hi);
+
+        let device = if rng.random::<f64>() < behavior.featurephone_share {
+            DeviceClass::FeaturePhone
+        } else {
+            DeviceClass::Smartphone
+        };
+
+        let class_idx = UserClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("class in ALL");
+        let base_range = if rng.random::<f64>() < behavior.habitual_share {
+            behavior.habitual_repeat
+        } else {
+            behavior.exploratory_repeat
+        };
+        let repeat_prob = (rng.random_range(base_range.0..base_range.1)
+            + behavior.class_repeat_uplift[class_idx])
+            .min(0.98);
+
+        let mut explore_head_prob = behavior.explore_head_prob;
+        let mut repertoire_tail_frac = behavior.repertoire_tail_frac;
+        if device == DeviceClass::FeaturePhone {
+            explore_head_prob += behavior.featurephone_head_boost;
+            repertoire_tail_frac *= 0.4;
+        }
+
+        // Repertoire: popularity-biased favourites, a few personal niches.
+        let size = ((monthly_volume as f64).sqrt() * behavior.repertoire_scale).round() as usize;
+        let size = size.max(2);
+        let mut repertoire = Vec::with_capacity(size);
+        while repertoire.len() < size {
+            let pair = if rng.random::<f64>() < repertoire_tail_frac {
+                let kind = if rng.random::<f64>() < behavior.nav_share_by_class[class_idx] {
+                    QueryKind::Navigational
+                } else {
+                    QueryKind::NonNavigational
+                };
+                universe.sample_pair_in(rng, kind, Segment::Tail)
+            } else {
+                universe.sample_pair(rng)
+            };
+            if !repertoire.contains(&pair) {
+                repertoire.push(pair);
+            }
+        }
+        let weights: Vec<f64> = (0..repertoire.len())
+            .map(|i| 1.0 / ((i + 1) as f64).powf(behavior.repertoire_zipf_s))
+            .collect();
+
+        UserProfile {
+            id,
+            class,
+            device,
+            monthly_volume,
+            repertoire,
+            repeat_prob,
+            explore_head_prob,
+            nav_share: behavior.nav_share_by_class[class_idx],
+            sibling_swap_prob: behavior.sibling_swap_prob,
+            alias_swap_prob: behavior.alias_swap_prob,
+            repertoire_sampler: WeightedIndex::new(weights),
+        }
+    }
+
+    /// Draws the next `(query, result)` pair this user submits.
+    pub fn next_pair(&self, universe: &Universe, rng: &mut StdRng) -> PairId {
+        if rng.random::<f64>() < self.repeat_prob {
+            let mut pair = self.repertoire[self.repertoire_sampler.sample(rng)];
+            // A favourite is really a favourite *query*: which of its
+            // results the user clicks varies with the results' own appeal
+            // (the Table 3 pattern of near-equal volumes on both results).
+            let siblings = universe.query_pairs(universe.pair(pair).query);
+            if siblings.len() > 1 && rng.random::<f64>() < self.sibling_swap_prob {
+                let total: f64 = siblings.iter().map(|&s| universe.pair(s).weight).sum();
+                let mut x = rng.random::<f64>() * total;
+                for &s in siblings {
+                    x -= universe.pair(s).weight;
+                    if x <= 0.0 {
+                        pair = s;
+                        break;
+                    }
+                }
+            }
+            // And today's typing may reach that result via a misspelling
+            // or shortcut rather than the usual query string.
+            let aliases = universe.result_pairs(universe.pair(pair).result);
+            if aliases.len() > 1 && rng.random::<f64>() < self.alias_swap_prob {
+                let total: f64 = aliases.iter().map(|&a| universe.pair(a).weight).sum();
+                let mut x = rng.random::<f64>() * total;
+                for &a in aliases {
+                    x -= universe.pair(a).weight;
+                    if x <= 0.0 {
+                        return a;
+                    }
+                }
+            }
+            pair
+        } else {
+            let segment = if rng.random::<f64>() < self.explore_head_prob {
+                Segment::Head
+            } else {
+                Segment::Tail
+            };
+            let kind = if rng.random::<f64>() < self.nav_share {
+                QueryKind::Navigational
+            } else {
+                QueryKind::NonNavigational
+            };
+            universe.sample_pair_in(rng, kind, segment)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::UniverseConfig;
+    use rand::SeedableRng;
+
+    fn setup() -> (Universe, StdRng) {
+        (
+            Universe::generate(UniverseConfig::test_scale(), 3),
+            StdRng::seed_from_u64(17),
+        )
+    }
+
+    fn many_profiles(n: usize) -> Vec<UserProfile> {
+        let (u, mut rng) = setup();
+        let b = BehaviorConfig::default();
+        (0..n)
+            .map(|i| UserProfile::generate(UserId::new(i as u32), &u, &b, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn class_shares_sum_to_one() {
+        let total: f64 = UserClass::ALL.iter().map(|c| c.population_share()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classify_matches_table6_boundaries() {
+        assert_eq!(UserClass::classify(19), None);
+        assert_eq!(UserClass::classify(20), Some(UserClass::Low));
+        assert_eq!(UserClass::classify(39), Some(UserClass::Low));
+        assert_eq!(UserClass::classify(40), Some(UserClass::Medium));
+        assert_eq!(UserClass::classify(139), Some(UserClass::Medium));
+        assert_eq!(UserClass::classify(140), Some(UserClass::High));
+        assert_eq!(UserClass::classify(459), Some(UserClass::High));
+        assert_eq!(UserClass::classify(460), Some(UserClass::Extreme));
+        assert_eq!(UserClass::classify(10_000), Some(UserClass::Extreme));
+    }
+
+    #[test]
+    fn generated_volumes_match_their_class() {
+        for p in many_profiles(300) {
+            let (lo, hi) = p.class.volume_range();
+            assert!((lo..hi).contains(&p.monthly_volume));
+            assert_eq!(UserClass::classify(p.monthly_volume), Some(p.class));
+        }
+    }
+
+    #[test]
+    fn population_shares_are_roughly_table6() {
+        let profiles = many_profiles(4_000);
+        let share = |class: UserClass| {
+            profiles.iter().filter(|p| p.class == class).count() as f64 / profiles.len() as f64
+        };
+        assert!((share(UserClass::Low) - 0.55).abs() < 0.05);
+        assert!((share(UserClass::Medium) - 0.36).abs() < 0.05);
+        assert!((share(UserClass::High) - 0.08).abs() < 0.03);
+        assert!(share(UserClass::Extreme) < 0.04);
+    }
+
+    #[test]
+    fn half_the_users_are_heavy_repeaters() {
+        // Figure 5: ~50% of users submit a new query at most ~30% of the
+        // time, i.e. have repeat probability >= ~0.7.
+        let profiles = many_profiles(2_000);
+        let heavy = profiles.iter().filter(|p| p.repeat_prob >= 0.70).count() as f64
+            / profiles.len() as f64;
+        assert!(
+            (0.40..0.62).contains(&heavy),
+            "heavy-repeater share was {heavy}"
+        );
+    }
+
+    #[test]
+    fn repertoires_are_unique_and_sized_by_volume() {
+        let profiles = many_profiles(200);
+        for p in &profiles {
+            let mut sorted = p.repertoire.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(
+                sorted.len(),
+                p.repertoire.len(),
+                "repertoire has duplicates"
+            );
+        }
+        let avg_size = |class: UserClass| {
+            let v: Vec<usize> = profiles
+                .iter()
+                .filter(|p| p.class == class)
+                .map(|p| p.repertoire.len())
+                .collect();
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<usize>() as f64 / v.len() as f64
+            }
+        };
+        assert!(avg_size(UserClass::Medium) > avg_size(UserClass::Low));
+    }
+
+    #[test]
+    fn next_pair_mixes_repertoire_and_exploration() {
+        let (u, mut rng) = setup();
+        let b = BehaviorConfig::default();
+        let p = UserProfile::generate(UserId::new(0), &u, &b, &mut rng);
+        let repertoire_queries: std::collections::HashSet<_> =
+            p.repertoire.iter().map(|&pid| u.pair(pid).query).collect();
+        let mut from_repertoire = 0;
+        let n = 5_000;
+        for _ in 0..n {
+            let pair = p.next_pair(&u, &mut rng);
+            if repertoire_queries.contains(&u.pair(pair).query) {
+                from_repertoire += 1;
+            }
+        }
+        let frac = from_repertoire as f64 / n as f64;
+        // Repertoire re-issues may click any result of a favourite query,
+        // so count at query granularity; exploratory draws can also land
+        // there, so the observed fraction is at least the repeat prob.
+        assert!(
+            frac >= p.repeat_prob - 0.03,
+            "repertoire-query fraction {frac} below repeat prob {}",
+            p.repeat_prob
+        );
+    }
+
+    #[test]
+    fn featurephones_explore_the_head_more() {
+        let profiles = many_profiles(2_000);
+        let avg = |device: DeviceClass| {
+            let v: Vec<f64> = profiles
+                .iter()
+                .filter(|p| p.device == device)
+                .map(|p| p.explore_head_prob)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(avg(DeviceClass::FeaturePhone) > avg(DeviceClass::Smartphone));
+    }
+
+    #[test]
+    fn heavier_classes_are_less_navigational() {
+        let b = BehaviorConfig::default();
+        for w in b.nav_share_by_class.windows(2) {
+            assert!(w[0] >= w[1], "nav share should not increase with class");
+        }
+    }
+}

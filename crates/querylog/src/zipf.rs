@@ -1,0 +1,267 @@
+//! Power-law popularity machinery.
+//!
+//! Mobile query popularity is extremely head-heavy (Figure 4): a few
+//! thousand queries carry most of the volume, with a long diverse tail.
+//! We model each sub-population with a *two-segment Zipf* profile: a head
+//! of `head_count` items following `1/rank^s_head` that together carry
+//! `head_mass` of the probability, and a tail following `1/rank^s_tail`
+//! carrying the rest. Pinning the head mass directly is what lets the
+//! generator hit the paper's "top 6,000 queries ≈ 60% of volume" style
+//! statistics by construction.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a two-segment Zipf popularity profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwoSegmentZipf {
+    /// Number of items in the popular head.
+    pub head_count: usize,
+    /// Probability mass carried by the head, in `(0, 1)`.
+    pub head_mass: f64,
+    /// Zipf exponent within the head.
+    pub s_head: f64,
+    /// Zipf exponent within the tail.
+    pub s_tail: f64,
+}
+
+impl TwoSegmentZipf {
+    /// Validates the profile for a population of `n` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_count` is zero or at least `n`, or if `head_mass`
+    /// is outside `(0, 1)`.
+    pub fn validate(&self, n: usize) {
+        assert!(n >= 2, "population must have at least 2 items, got {n}");
+        assert!(
+            self.head_count > 0 && self.head_count < n,
+            "head_count {} must be within [1, {})",
+            self.head_count,
+            n
+        );
+        assert!(
+            self.head_mass > 0.0 && self.head_mass < 1.0,
+            "head_mass {} must be within (0, 1)",
+            self.head_mass
+        );
+    }
+
+    /// Unnormalized-then-normalized weights for a population of `n` items,
+    /// ordered from most to least popular. Weights sum to 1.
+    pub fn weights(&self, n: usize) -> Vec<f64> {
+        self.validate(n);
+        let mut w = Vec::with_capacity(n);
+        let head_raw: Vec<f64> = (0..self.head_count)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(self.s_head))
+            .collect();
+        let tail_raw: Vec<f64> = (0..n - self.head_count)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(self.s_tail))
+            .collect();
+        let head_sum: f64 = head_raw.iter().sum();
+        let tail_sum: f64 = tail_raw.iter().sum();
+        w.extend(head_raw.iter().map(|x| x / head_sum * self.head_mass));
+        w.extend(
+            tail_raw
+                .iter()
+                .map(|x| x / tail_sum * (1.0 - self.head_mass)),
+        );
+        w
+    }
+}
+
+/// Samples indexes from a fixed discrete distribution in `O(log n)` via
+/// binary search over the cumulative weights.
+///
+/// # Example
+///
+/// ```
+/// use querylog::zipf::WeightedIndex;
+/// use rand::SeedableRng;
+///
+/// let sampler = WeightedIndex::new(vec![0.7, 0.2, 0.1]);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let draw = sampler.sample(&mut rng);
+/// assert!(draw < 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Builds a sampler from non-negative weights (not necessarily
+    /// normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "weight {i} must be finite and non-negative, got {w}"
+            );
+            total += w;
+            cumulative.push(total);
+        }
+        assert!(total > 0.0, "weights must not all be zero");
+        WeightedIndex { cumulative }
+    }
+
+    /// Number of items in the distribution.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Total (unnormalized) weight.
+    pub fn total(&self) -> f64 {
+        *self.cumulative.last().expect("validated non-empty")
+    }
+
+    /// Draws one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let x: f64 = rng.random::<f64>() * self.total();
+        self.locate(x)
+    }
+
+    /// Finds the index whose cumulative interval contains `x`.
+    fn locate(&self, x: f64) -> usize {
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("finite weights"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// Cumulative mass of the first `k` items, normalized to `[0, 1]`.
+    pub fn cumulative_mass(&self, k: usize) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let idx = k.min(self.cumulative.len()) - 1;
+        self.cumulative[idx] / self.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_sum_to_one_and_pin_head_mass() {
+        let profile = TwoSegmentZipf {
+            head_count: 100,
+            head_mass: 0.6,
+            s_head: 0.8,
+            s_tail: 0.4,
+        };
+        let w = profile.weights(10_000);
+        let total: f64 = w.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let head: f64 = w[..100].iter().sum();
+        assert!((head - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_are_monotonically_non_increasing_within_segments() {
+        let profile = TwoSegmentZipf {
+            head_count: 50,
+            head_mass: 0.7,
+            s_head: 1.0,
+            s_tail: 0.5,
+        };
+        let w = profile.weights(500);
+        for seg in [&w[..50], &w[50..]] {
+            for pair in seg.windows(2) {
+                assert!(pair[0] >= pair[1]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "head_count")]
+    fn head_larger_than_population_is_rejected() {
+        TwoSegmentZipf {
+            head_count: 10,
+            head_mass: 0.5,
+            s_head: 1.0,
+            s_tail: 1.0,
+        }
+        .validate(10);
+    }
+
+    #[test]
+    fn sampler_respects_the_distribution() {
+        let sampler = WeightedIndex::new(vec![0.8, 0.1, 0.1]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        let p0 = counts[0] as f64 / 20_000.0;
+        assert!((p0 - 0.8).abs() < 0.02, "p0 was {p0}");
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn cumulative_mass_reports_prefix_shares() {
+        let sampler = WeightedIndex::new(vec![3.0, 1.0, 1.0]);
+        assert_eq!(sampler.cumulative_mass(0), 0.0);
+        assert!((sampler.cumulative_mass(1) - 0.6).abs() < 1e-12);
+        assert!((sampler.cumulative_mass(3) - 1.0).abs() < 1e-12);
+        assert!((sampler.cumulative_mass(99) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_never_returns_out_of_range() {
+        let sampler = WeightedIndex::new(vec![1.0; 5]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            assert!(sampler.sample(&mut rng) < 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_weights_are_rejected() {
+        let _ = WeightedIndex::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "all be zero")]
+    fn all_zero_weights_are_rejected() {
+        let _ = WeightedIndex::new(vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_weights_are_rejected() {
+        let _ = WeightedIndex::new(vec![1.0, -0.5]);
+    }
+
+    #[test]
+    fn zipf_head_is_much_hotter_than_tail() {
+        let profile = TwoSegmentZipf {
+            head_count: 10,
+            head_mass: 0.9,
+            s_head: 1.0,
+            s_tail: 0.1,
+        };
+        let w = profile.weights(1_000);
+        assert!(w[0] > 100.0 * w[999]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Capacity planning for a fleet of pocket cloudlets: project how much
+//! NVM future phones will carry (Figure 2), size each cloudlet's slice
+//! (Table 2), and arbitrate the shared DRAM index budget across cloudlets
+//! with the §7 coordination machinery.
+//!
+//! ```text
+//! cargo run --example capacity_planning
+//! ```
+
+use pocket_cloudlets::core::coordination::{
+    AccessControl, BudgetDemand, CloudletBudgets, CloudletId,
+};
+use pocket_cloudlets::prelude::*;
+
+fn main() {
+    // How much NVM will devices have, year by year?
+    let trends = ScalingTrends::paper_table1();
+    let projection = CapacityProjection::new(&trends, ScalingTechnique::all());
+    println!("projected NVM capacity (all scaling techniques):");
+    for year in [2010u32, 2014, 2018, 2022, 2026] {
+        let high = projection
+            .capacity(DeviceTier::HighEnd, year)
+            .expect("year in range");
+        let low = projection
+            .capacity(DeviceTier::LowEnd, year)
+            .expect("year in range");
+        println!("  {year}: high-end {high:>10}, low-end {low:>10}");
+    }
+    let one_tb_year = projection
+        .year_capacity_reaches(
+            DeviceTier::HighEnd,
+            pocket_cloudlets::nvmscale::ByteSize::from_tib(1.0),
+        )
+        .expect("the roadmap reaches 1 TB");
+    println!("  -> high-end phones reach 1 TB in {one_tb_year} (paper: 2018)\n");
+
+    // Dedicate 10% of a future low-end phone to cloudlets and size them.
+    let budget = CloudletBudget::paper_table2();
+    println!("cloudlet sizing inside {}:", budget.bytes());
+    for est in budget.table2() {
+        println!(
+            "  {:<16} {:>9} items of {} each",
+            est.kind.to_string(),
+            est.items,
+            est.item_size
+        );
+    }
+    println!(
+        "  map coverage: {:.0} km^2; web pages stored vs URLs a user visits: {:.0}x headroom\n",
+        budget.map_coverage_km2(300.0),
+        budget.web_content_headroom(1_000),
+    );
+
+    // Multiple cloudlets share the DRAM index budget (§7).
+    let (search, ads, maps, yellow) = (CloudletId(0), CloudletId(1), CloudletId(2), CloudletId(3));
+    let mut arbiter = CloudletBudgets::new(8_000_000); // 8 MB of index DRAM
+    arbiter.register(BudgetDemand {
+        cloudlet: search,
+        demand_bytes: 2_000_000,
+        priority: 4.0,
+    });
+    arbiter.register(BudgetDemand {
+        cloudlet: ads,
+        demand_bytes: 1_000_000,
+        priority: 1.0,
+    });
+    arbiter.register(BudgetDemand {
+        cloudlet: maps,
+        demand_bytes: 12_000_000,
+        priority: 2.0,
+    });
+    arbiter.register(BudgetDemand {
+        cloudlet: yellow,
+        demand_bytes: 6_000_000,
+        priority: 1.0,
+    });
+    println!("DRAM index arbitration over 8 MB:");
+    for (who, bytes) in arbiter.allocate() {
+        println!("  {who}: {:.2} MB", bytes as f64 / 1e6);
+    }
+
+    // And isolation: the maps cloudlet may never read the search cache.
+    let mut acl = AccessControl::new();
+    acl.grant(ads, search); // ads may key off search queries
+    println!("\naccess control:");
+    for (reader, owner, label) in [
+        (ads, search, "ads -> search"),
+        (maps, search, "maps -> search"),
+        (search, search, "search -> search"),
+    ] {
+        println!(
+            "  {label}: {}",
+            if acl.can_access(reader, owner) {
+                "allowed"
+            } else {
+                "denied"
+            }
+        );
+    }
+
+    // Sanity checks so the example doubles as a smoke test.
+    assert_eq!(one_tb_year, 2018);
+    let alloc = arbiter.allocate();
+    assert_eq!(alloc[&search], 2_000_000, "search demand is fully met");
+    assert_eq!(
+        alloc.values().sum::<usize>(),
+        8_000_000,
+        "budget fully used"
+    );
+    assert!(!acl.can_access(maps, search));
+}

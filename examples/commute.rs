@@ -1,0 +1,67 @@
+//! Two weeks of commuting on a mapping pocket cloudlet (§2, §7).
+//!
+//! Table 2 shows a low-end phone of the NVM future could hold every map
+//! tile of a US state (25.6 GB). But even a small slice of that budget
+//! goes a long way once the cloudlet learns *where this user actually
+//! goes* — the geographic version of the community/personalization story.
+//!
+//! ```text
+//! cargo run --example commute
+//! ```
+
+use pocket_cloudlets::prelude::*;
+
+fn main() {
+    let grid = TileGrid::paper_default();
+    let model = CommuterModel::default();
+    let (anchors, trace) = model.generate(14, 7);
+    println!(
+        "a commuter with {} anchor locations, {} map checks over two weeks\n",
+        anchors.len(),
+        trace.len()
+    );
+
+    println!(
+        "{:<36} {:>9} {:>16} {:>14}",
+        "prefetch policy", "budget", "instant renders", "radio KB"
+    );
+    println!("{}", "-".repeat(80));
+    let mut results = Vec::new();
+    for (policy, budget) in [
+        (PrefetchPolicy::OnDemandOnly, 200_000_000u64),
+        (
+            PrefetchPolicy::HomeRegion { radius_m: 5_000.0 },
+            200_000_000,
+        ),
+        (
+            PrefetchPolicy::FrequentRegions {
+                k: 8,
+                radius_m: 3_000.0,
+            },
+            200_000_000,
+        ),
+        (PrefetchPolicy::WholeState, 25_600_000_000),
+    ] {
+        let mut maps = PocketMaps::new(grid, budget);
+        let stats = maps.replay_trace(policy, anchors[0], &trace);
+        println!(
+            "{:<36} {:>6.1} GB {:>15.0}% {:>14.0}",
+            policy.to_string(),
+            budget as f64 / 1e9,
+            stats.instant_rate() * 100.0,
+            stats.radio_bytes as f64 / 1_000.0,
+        );
+        results.push(stats);
+    }
+
+    let frequent = results[2];
+    let state = results[3];
+    println!(
+        "\nthe whole-state install (Table 2) never touches the radio; learning the\n\
+         commuter's frequent regions reaches {:.0}% instant renders in under 1% of\n\
+         that space — data selection (§3.1) applied to geography.",
+        frequent.instant_rate() * 100.0
+    );
+    assert_eq!(state.instant_rate(), 1.0);
+    assert!(frequent.instant_rate() > results[0].instant_rate());
+}

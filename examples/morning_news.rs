@@ -1,0 +1,63 @@
+//! Morning news on a pocket cloudlet: the §3.2 web-content story.
+//!
+//! A commuter checks the same handful of news pages all week. With only
+//! the overnight bulk refresh, every mid-day check finds stale content
+//! and wakes the radio; subscribing just their revisited pages to
+//! real-time updates makes the morning read instant.
+//!
+//! ```text
+//! cargo run --example morning_news
+//! ```
+
+use pocket_cloudlets::pocketweb::policy::{replay_visits, synthetic_visits};
+use pocket_cloudlets::prelude::*;
+
+fn main() {
+    let world = WebWorld::generate(WorldConfig::test_scale(), 99);
+    let dynamic_pages = world.pages().iter().filter(|p| p.dynamic).count();
+    println!(
+        "a web of {} pages, {dynamic_pages} of them dynamic (news-like)\n",
+        world.pages().len()
+    );
+
+    // One commuter's week: ~25 visits a day, 70% of them revisits to a
+    // personal set of a couple dozen pages.
+    let streams = synthetic_visits(&world, 1, 7, 25, 99);
+    let week = &streams[0];
+    println!("replaying one user's week: {} page visits\n", week.len());
+
+    println!(
+        "{:<20} {:>13} {:>19} {:>18}",
+        "policy", "instant rate", "on-demand MB", "realtime push MB"
+    );
+    println!("{}", "-".repeat(74));
+    let mut reports = Vec::new();
+    for policy in [
+        RefreshPolicy::OvernightOnly,
+        RefreshPolicy::RealtimeTopK { k: 20 },
+        RefreshPolicy::RealtimeAll,
+    ] {
+        let report = replay_visits(&world, policy, week);
+        println!(
+            "{:<20} {:>12.0}% {:>19.1} {:>18.1}",
+            policy.to_string(),
+            report.instant_rate * 100.0,
+            report.on_demand_mb,
+            report.realtime_mb
+        );
+        reports.push(report);
+    }
+
+    let overnight = reports[0];
+    let topk = reports[1];
+    println!(
+        "\nsubscribing the top-20 revisited pages lifts instant service from {:.0}% to {:.0}%\n\
+         and cuts on-demand radio traffic from {:.1} MB to {:.1} MB — §3.2's point that only\n\
+         \"the small set of most frequently visited data\" needs real-time updates.",
+        overnight.instant_rate * 100.0,
+        topk.instant_rate * 100.0,
+        overnight.on_demand_mb,
+        topk.on_demand_mb,
+    );
+    assert!(topk.instant_rate > overnight.instant_rate);
+}

@@ -1,0 +1,94 @@
+//! Quickstart: build a PocketSearch cloudlet from a month of community
+//! logs and watch it serve queries 16x faster than the 3G radio.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use pocket_cloudlets::prelude::*;
+
+fn main() {
+    // 1. A month of community mobile-search logs (synthetic stand-in for
+    //    the paper's m.bing.com traces).
+    let mut generator = LogGenerator::new(GeneratorConfig::test_scale(), 42);
+    let logs = generator.generate_month();
+    println!(
+        "mined {} queries from {} users",
+        logs.len(),
+        logs.users().len()
+    );
+
+    // 2. Extract (query, result, volume) triplets and admit the most
+    //    popular pairs until they cover 55% of the volume (§5.1).
+    let triplets = TripletTable::from_log(&logs);
+    let contents = CacheContents::generate(
+        &triplets,
+        &UniverseCorpus::new(generator.universe()),
+        AdmissionPolicy::CumulativeShare { share: 0.55 },
+    );
+    println!(
+        "community cache: {} pairs / {} distinct results, {:.0} KB DRAM + {:.0} KB flash",
+        contents.len(),
+        contents.distinct_results(),
+        contents.dram_bytes() as f64 / 1_000.0,
+        contents.flash_bytes() as f64 / 1_000.0,
+    );
+
+    // 3. Install it on a simulated handset.
+    let catalog = Catalog::new(generator.universe());
+    let mut pocket = PocketSearch::build(&contents, &catalog, PocketSearchConfig::default());
+
+    // 4. A popular query is served locally in ~0.4 s...
+    let popular = contents.pairs()[0];
+    let hit = pocket.serve(popular.query_hash);
+    assert!(hit.hit);
+    println!(
+        "\ncache hit:  {:>10}  {:>10}  top result: {}",
+        hit.report.total_time.to_string(),
+        hit.report.energy.to_string(),
+        hit.results[0].display_url,
+    );
+
+    // ...while an uncached one wakes the 3G radio and pays seconds.
+    let miss = pocket.serve(0xDEAD_BEEF);
+    assert!(!miss.hit);
+    println!(
+        "cache miss: {:>10}  {:>10}  (radio wakeup {})",
+        miss.report.total_time.to_string(),
+        miss.report.energy.to_string(),
+        miss.report.transfer.expect("miss used the radio").wakeup,
+    );
+
+    let speedup = miss
+        .report
+        .total_time
+        .ratio(hit.report.total_time)
+        .expect("hit is non-zero");
+    let energy = miss
+        .report
+        .energy
+        .ratio(hit.report.energy)
+        .expect("hit energy is non-zero");
+    println!("\nspeedup {speedup:.0}x, energy saving {energy:.0}x (paper: 16x and 23x)");
+
+    // 5. The Figure 1 auto-suggest box: as the user types, cached results
+    //    appear instantly under the completions.
+    use pocket_cloudlets::pocketsearch::suggest::SuggestIndex;
+    let texts = contents
+        .pairs()
+        .iter()
+        .map(|p| generator.universe().query(p.query).text.clone());
+    let index = SuggestIndex::build(texts, pocket.cache());
+    let typed = &generator.universe().query(popular.query).text[..3];
+    let suggestions = index.complete(typed, pocket.cache(), 3);
+    println!("\ntyping \"{typed}\" suggests instantly:");
+    for s in &suggestions {
+        println!(
+            "  {:<18} (score {:.2}, {} cached results)",
+            s.query,
+            s.score,
+            s.results.len()
+        );
+    }
+    assert!(!suggestions.is_empty());
+}

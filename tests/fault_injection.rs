@@ -1,0 +1,167 @@
+//! Failure injection: corrupt or missing on-flash state must surface as
+//! typed errors (or graceful degradation), never as panics or silently
+//! wrong results.
+
+use pocket_cloudlets::flashdb::{DbConfig, DbError, ResultDb, ResultRecord};
+use pocket_cloudlets::mobsim::flash::{FlashError, FlashModel, FlashStore};
+use pocket_cloudlets::prelude::*;
+
+fn record(hash: u64) -> ResultRecord {
+    ResultRecord::new(
+        hash,
+        format!("T{hash}"),
+        format!("u{hash}.com"),
+        "s".repeat(200),
+    )
+}
+
+fn small_db() -> (ResultDb, FlashStore) {
+    let mut flash = FlashStore::new(FlashModel::default());
+    let db = ResultDb::build((0..20).map(record), DbConfig::with_files(4), &mut flash);
+    (db, flash)
+}
+
+#[test]
+fn corrupted_record_bytes_are_detected() {
+    let (db, mut flash) = small_db();
+    // Smash the data region of one file with garbage.
+    let name = flash
+        .file_names()
+        .next()
+        .expect("database wrote files")
+        .to_owned();
+    let size = flash.file_size(&name).expect("file exists");
+    // Overwrite the record area (past the header) with invalid UTF-8.
+    let garbage = vec![0xFFu8; 64];
+    flash
+        .overwrite(&name, size - 64, &garbage)
+        .expect("overwrite within bounds");
+
+    // Some record in that file now fails to decode with a typed error;
+    // untouched files keep working.
+    let mut corrupt_seen = false;
+    let mut ok_seen = false;
+    for h in 0..20u64 {
+        match db.get(h, &flash) {
+            Ok(_) => ok_seen = true,
+            Err(DbError::Corrupt(_)) | Err(DbError::Flash(_)) => corrupt_seen = true,
+            Err(DbError::NotFound { .. }) => panic!("records were all inserted"),
+        }
+    }
+    assert!(corrupt_seen, "corruption must be detected");
+    assert!(
+        ok_seen,
+        "corruption must stay contained to the damaged file"
+    );
+}
+
+#[test]
+fn deleted_database_file_degrades_to_errors_not_panics() {
+    let (db, mut flash) = small_db();
+    let victim = flash.file_names().next().unwrap().to_owned();
+    assert!(flash.remove(&victim));
+    let mut missing = 0;
+    for h in 0..20u64 {
+        if matches!(
+            db.get(h, &flash),
+            Err(DbError::Flash(FlashError::FileNotFound(_)))
+        ) {
+            missing += 1;
+        }
+    }
+    assert!(missing > 0);
+    assert!(
+        db.verify(&flash).is_err(),
+        "verify must notice the lost file"
+    );
+}
+
+#[test]
+fn engine_degrades_a_broken_hit_into_a_radio_miss() {
+    // An index entry whose database record is gone: the engine must fall
+    // back to the radio path instead of failing the query.
+    let mut generator = LogGenerator::new(GeneratorConfig::test_scale(), 50);
+    let log = generator.generate_month();
+    let triplets = TripletTable::from_log(&log);
+    let contents = CacheContents::generate(
+        &triplets,
+        &UniverseCorpus::new(generator.universe()),
+        AdmissionPolicy::CumulativeShare { share: 0.55 },
+    );
+    let catalog = Catalog::new(generator.universe());
+    let mut engine = PocketSearch::build(&contents, &catalog, PocketSearchConfig::default());
+
+    // Vaporize the whole database behind the engine's back.
+    let names: Vec<String> = engine
+        .device()
+        .flash()
+        .file_names()
+        .map(str::to_owned)
+        .collect();
+    for name in names {
+        engine.device_mut().flash_mut().remove(&name);
+    }
+
+    let served = engine.serve(contents.pairs()[0].query_hash);
+    assert!(!served.hit, "a hit without its record degrades to a miss");
+    assert!(
+        served.report.transfer.is_some(),
+        "the radio served the user"
+    );
+    assert!(served.report.total_time.as_secs_f64() > 1.0);
+}
+
+#[test]
+fn header_corruption_fails_verification() {
+    let (db, mut flash) = small_db();
+    let name = flash.file_names().next().unwrap().to_owned();
+    // Flip the live-count field in the header preamble.
+    flash.overwrite(&name, 4, &u32::MAX.to_le_bytes()).unwrap();
+    assert!(db.verify(&flash).is_err());
+}
+
+#[test]
+fn reads_past_eof_are_rejected_not_padded() {
+    let mut flash = FlashStore::new(FlashModel::default());
+    flash.write_file("f", vec![1, 2, 3]);
+    assert!(matches!(
+        flash.read("f", 2, 2),
+        Err(FlashError::ReadPastEnd { size: 3, .. })
+    ));
+    assert!(matches!(
+        flash.overwrite("f", 2, &[9, 9]),
+        Err(FlashError::ReadPastEnd { .. })
+    ));
+}
+
+#[test]
+fn update_protocol_survives_hostile_uploads() {
+    use pocket_cloudlets::core::hashtable::EntryRecord;
+    use pocket_cloudlets::core::update::{UpdateServer, UploadPayload, PROTOCOL_VERSION};
+
+    // An upload with nonsense salts, duplicate pairs, and extreme scores
+    // must still produce a coherent bundle.
+    let upload = UploadPayload {
+        version: PROTOCOL_VERSION,
+        records: vec![
+            EntryRecord {
+                query_hash: 1,
+                salt: 999, // out-of-chain salt
+                slots: vec![(10, f32::MAX, true), (10, -0.0, false)],
+            },
+            EntryRecord {
+                query_hash: 1,
+                salt: 0,
+                slots: vec![(10, 0.5, true)],
+            },
+        ],
+    };
+    let server = UpdateServer::new(vec![(1, 10, 0.9)], RankingPolicy::default());
+    let bundle = server
+        .build_update(&upload)
+        .expect("hostile upload handled");
+    let table = pocket_cloudlets::core::hashtable::QueryHashTable::from_records(&bundle.records);
+    let results = table.lookup(1).expect("pair survives");
+    assert_eq!(results.len(), 1, "duplicates collapse to one pair");
+    assert!(results[0].score >= 0.9, "max-score rule applied");
+}
