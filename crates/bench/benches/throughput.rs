@@ -1,0 +1,88 @@
+//! Fleet serving throughput across shard counts.
+//!
+//! Serves the same Zipf `(user, query)` batch through a `ServeRouter` at
+//! 1, 4, and 16 shards. Two signals come out:
+//!
+//! * Criterion wall-clock timings of `serve_batch` (hardware-dependent —
+//!   on a single-core host the sharded runs mostly measure scheduling,
+//!   not speedup);
+//! * a printed simulated-throughput table: per-shard busy time is summed
+//!   in simulated device time, so `events / makespan` is
+//!   machine-independent and is the number the scaling claim rests on.
+//!   The aggregate hit ratio is printed alongside because sharding must
+//!   not change it.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pocket_bench::{fleet_workload, test_scale_study_inputs};
+use pocketsearch::config::PocketSearchConfig;
+use pocketsearch::engine::PocketSearch;
+use pocketsearch::fleet::ServeRouter;
+use std::hint::black_box;
+
+const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
+
+fn bench_serve_batch(c: &mut Criterion) {
+    let inputs = test_scale_study_inputs(21);
+    let engine = PocketSearch::build(&inputs.contents, &inputs.catalog, PocketSearchConfig::default());
+    let events = fleet_workload(&inputs, 64, 2_000, 77);
+
+    let mut group = c.benchmark_group("fleet/serve_batch_2k");
+    for shards in SHARD_COUNTS {
+        let router = ServeRouter::from_engine(&engine, shards);
+        group.bench_function(format!("{shards}_shards"), |b| {
+            b.iter_batched(
+                || events.clone(),
+                |batch| black_box(router.serve_batch(&batch)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+
+    // The machine-independent result: simulated throughput at one serving
+    // lane per shard, with the hit ratio held exactly constant.
+    println!("\nfleet simulated throughput (Zipf batch, 2000 events, 64 users)");
+    println!(
+        "{:>7}  {:>10}  {:>12}  {:>14}  {:>9}",
+        "shards", "hits", "makespan s", "sim qps", "hit rate"
+    );
+    let mut baseline_qps = None;
+    for shards in SHARD_COUNTS {
+        let router = ServeRouter::from_engine(&engine, shards);
+        let report = router.serve_batch(&events);
+        let qps = report.throughput_qps();
+        let speedup = match baseline_qps {
+            None => {
+                baseline_qps = Some(qps);
+                String::from("1.00x")
+            }
+            Some(base) => format!("{:.2}x", qps / base),
+        };
+        println!(
+            "{:>7}  {:>10}  {:>12.3}  {:>8.1} ({})  {:>9.4}",
+            shards,
+            report.hits(),
+            report.makespan().as_secs_f64(),
+            qps,
+            speedup,
+            report.hit_rate()
+        );
+    }
+}
+
+fn bench_serve_one(c: &mut Criterion) {
+    let inputs = test_scale_study_inputs(21);
+    let engine = PocketSearch::build(&inputs.contents, &inputs.catalog, PocketSearchConfig::default());
+    let events = fleet_workload(&inputs, 64, 512, 78);
+    let router = ServeRouter::from_engine(&engine, 16);
+    let mut i = 0;
+    c.bench_function("fleet/serve_one", |b| {
+        b.iter(|| {
+            i = (i + 1) % events.len();
+            black_box(router.serve_one(black_box(events[i])))
+        })
+    });
+}
+
+criterion_group!(benches, bench_serve_batch, bench_serve_one);
+criterion_main!(benches);

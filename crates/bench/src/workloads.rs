@@ -1,12 +1,18 @@
 //! Canonical workload construction shared by figures, tables, and benches.
 
+use std::collections::HashSet;
+
 use cloudlet_core::contentgen::{AdmissionPolicy, CacheContents};
 use cloudlet_core::corpus::UniverseCorpus;
 use pocketsearch::engine::Catalog;
+use pocketsearch::fleet::FleetEvent;
 use querylog::generator::{GeneratorConfig, LogGenerator};
 use querylog::log::SearchLog;
 use querylog::triplets::TripletTable;
 use querylog::universe::Universe;
+use querylog::zipf::{TwoSegmentZipf, WeightedIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Everything the experiments need from one generated world: the
 /// cache-construction month, the replay month, the extracted triplets,
@@ -56,6 +62,43 @@ pub fn full_scale_study_inputs(seed: u64) -> StudyInputs {
 /// Small, fast inputs (used by tests and Criterion benches).
 pub fn test_scale_study_inputs(seed: u64) -> StudyInputs {
     study_inputs(GeneratorConfig::test_scale(), seed, 0.55)
+}
+
+/// A Zipf-distributed `(user, query)` serving stream for the fleet
+/// studies: queries are ranked by their build-month volume and drawn
+/// from a two-segment Zipf over that rank, so the hot head mostly hits
+/// the community cache while the long tail goes to the radio. Users are
+/// assigned uniformly. Deterministic in `seed`.
+pub fn fleet_workload(
+    inputs: &StudyInputs,
+    users: u64,
+    n_events: usize,
+    seed: u64,
+) -> Vec<FleetEvent> {
+    assert!(users > 0, "the fleet needs at least one user");
+    // Distinct queries in descending-volume order.
+    let mut seen = HashSet::new();
+    let ranked: Vec<u64> = inputs
+        .triplets
+        .iter()
+        .filter(|t| seen.insert(t.query))
+        .map(|t| inputs.catalog.query_hash(t.query))
+        .collect();
+    assert!(ranked.len() >= 2, "workload needs at least two queries");
+    let profile = TwoSegmentZipf {
+        head_count: (ranked.len() / 10).max(1).min(ranked.len() - 1),
+        head_mass: 0.7,
+        s_head: 0.9,
+        s_tail: 0.3,
+    };
+    let index = WeightedIndex::new(profile.weights(ranked.len()));
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_events)
+        .map(|_| FleetEvent {
+            user: rng.random_range(0..users),
+            query_hash: ranked[index.sample(&mut rng)],
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -551,6 +551,101 @@ mod tests {
     }
 
     #[test]
+    fn long_chains_grow_one_salt_at_a_time() {
+        let mut t = QueryHashTable::new();
+        for r in 0..7u64 {
+            assert!(t.upsert(1, 100 + r, 1.0 - r as f32 * 0.1, ConflictPolicy::Max));
+        }
+        assert_eq!(t.entry_count(), 4, "7 pairs need ceil(7/2) entries");
+        assert_eq!(t.pair_count(), 7);
+        // Reconciling a result deep in the chain must not add a link.
+        assert!(!t.upsert(1, 106, 0.9, ConflictPolicy::Max));
+        assert_eq!(t.pair_count(), 7);
+        assert_eq!(t.score(1, 106).unwrap(), 0.9, "Max lifted the tail score");
+        let r = t.lookup(1).unwrap();
+        assert_eq!(r.len(), 7);
+        assert!(r.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn upsert_backfills_chain_holes_before_extending() {
+        let mut t = QueryHashTable::new();
+        for r in [10, 11, 12, 13] {
+            t.upsert(1, r, r as f32, ConflictPolicy::Max);
+        }
+        // Drop one pair; the repack leaves a free slot in the tail entry.
+        t.retain_pairs(|_, result, _, _| result != 11);
+        assert_eq!(t.pair_count(), 3);
+        assert_eq!(t.entry_count(), 2);
+        // Two more inserts: the first must reuse the free slot, only the
+        // second may open a new salted entry.
+        t.upsert(1, 14, 0.5, ConflictPolicy::Max);
+        assert_eq!(t.entry_count(), 2, "hole reused before extending");
+        t.upsert(1, 15, 0.25, ConflictPolicy::Max);
+        assert_eq!(t.entry_count(), 3, "full chain extends by one entry");
+        assert_eq!(t.pair_count(), 5);
+    }
+
+    #[test]
+    fn retain_pairs_drops_whole_overflow_entries() {
+        let mut t = QueryHashTable::new();
+        for r in 0..5u64 {
+            t.upsert(1, 100 + r, 1.0 - r as f32 * 0.1, ConflictPolicy::Max);
+        }
+        assert_eq!(t.entry_count(), 3);
+        // Keep only the two best-scored pairs: both overflow entries die.
+        let removed = t.retain_pairs(|_, _, score, _| score > 0.85);
+        assert_eq!(removed, 3);
+        assert_eq!(t.entry_count(), 1, "overflow entries fully removed");
+        let records = t.to_records();
+        assert!(
+            records.iter().all(|r| r.salt == 0),
+            "no salted entry survives: {records:?}"
+        );
+        assert_eq!(t.lookup(1).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn accessed_flag_in_overflow_entry_survives_round_trip() {
+        let mut t = QueryHashTable::new();
+        for r in 0..5u64 {
+            t.upsert(1, 100 + r, 1.0 - r as f32 * 0.1, ConflictPolicy::Max);
+        }
+        // Result 104 sits in the salt-2 overflow entry.
+        t.mark_accessed(1, 104).unwrap();
+        let records = t.to_records();
+        let tail = records.iter().find(|r| r.salt == 2).expect("salt-2 entry");
+        assert!(tail.slots.iter().any(|&(hash, _, accessed)| hash == 104 && accessed));
+
+        let rebuilt = QueryHashTable::from_records(&records);
+        assert_eq!(rebuilt.lookup(1), t.lookup(1));
+        assert!(rebuilt
+            .lookup(1)
+            .unwrap()
+            .iter()
+            .any(|r| r.result_hash == 104 && r.accessed));
+    }
+
+    #[test]
+    fn record_round_trip_is_a_fixed_point_for_chained_tables() {
+        // Chains stay hole-free (upsert backfills, retain repacks), so
+        // serialize → rebuild → serialize must reproduce the exact same
+        // records, salts included.
+        let mut t = QueryHashTable::new();
+        for q in 0..8u64 {
+            for r in 0..(q % 5 + 1) {
+                t.upsert(q, 1000 + r, 1.0 / (r as f32 + 1.0), ConflictPolicy::Max);
+            }
+        }
+        t.mark_accessed(4, 1002).unwrap();
+        t.retain_pairs(|q, _, _, _| q != 3);
+        let records = t.to_records();
+        let rebuilt = QueryHashTable::from_records(&records);
+        assert_eq!(rebuilt.to_records(), records);
+        assert_eq!(rebuilt, t);
+    }
+
+    #[test]
     fn score_lookup_errors() {
         let t = QueryHashTable::new();
         assert!(matches!(

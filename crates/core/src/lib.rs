@@ -25,6 +25,25 @@
 //!   budgets, coordinated eviction, and access isolation.
 //! * [`corpus`] — the small trait that ties hashes and record sizes back
 //!   to a concrete corpus (implemented for `querylog::Universe`).
+//! * [`shard`] — the query hash table partitioned into independently
+//!   locked shards for concurrent serving.
+//!
+//! # Scaling beyond one device
+//!
+//! The paper evaluates a single handset, where one thread serves one
+//! user's queries. The same cache layout also has to work when a
+//! cloudlet front-end serves many users at once — a shared community
+//! cache on an edge box, or a simulator replaying a whole population.
+//! [`shard::ShardedTable`] makes the DRAM index concurrent without
+//! changing its semantics: shard `s` of `S` owns every query with
+//! `query_hash % S == s`, including the query's whole salted overflow
+//! chain, so a lookup inside one shard returns byte-for-byte what the
+//! flat table would. Each shard sits behind its own `RwLock`; readers
+//! of different shards never touch the same lock, and the modulo
+//! layout matches the flash result database's `hash % n_files`
+//! placement so a shard's index entries and its result files can be
+//! co-located. The `pocketsearch` crate's `fleet` module builds the
+//! multi-threaded serving loop on top of this.
 //!
 //! # Example
 //!
@@ -49,6 +68,7 @@ pub mod corpus;
 pub mod error;
 pub mod hashtable;
 pub mod ranking;
+pub mod shard;
 pub mod update;
 
 pub use cache::{CacheMode, LookupOutcome, PocketCache};
@@ -58,4 +78,5 @@ pub use corpus::{CorpusView, UniverseCorpus};
 pub use error::CoreError;
 pub use hashtable::{QueryHashTable, ScoredResult, SLOTS_PER_ENTRY};
 pub use ranking::RankingPolicy;
+pub use shard::ShardedTable;
 pub use update::{UpdateBundle, UpdateServer};

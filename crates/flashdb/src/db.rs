@@ -179,6 +179,27 @@ impl ResultDb {
         format!("psdb-{i:03}")
     }
 
+    /// The file index that stores (or would store) `result_hash` — the
+    /// `hash % n_files` placement rule of Figure 13. Exposed so serving
+    /// layers can partition files across workers consistently with it.
+    pub fn file_index(&self, result_hash: u64) -> usize {
+        self.file_for(result_hash)
+    }
+
+    /// The on-flash name of database file `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= n_files`.
+    pub fn file_name_of(&self, index: usize) -> String {
+        assert!(
+            index < self.config.n_files,
+            "file index {index} out of range ({} files)",
+            self.config.n_files
+        );
+        Self::file_name(index)
+    }
+
     fn file_for(&self, result_hash: u64) -> usize {
         (result_hash % self.config.n_files as u64) as usize
     }

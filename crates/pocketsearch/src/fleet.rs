@@ -1,0 +1,434 @@
+//! Sharded concurrent serving: one cache, many users at once.
+//!
+//! The paper's evaluation serves one user from one thread. A cloudlet
+//! front-end — an edge box hosting the community cache, or a simulator
+//! replaying a whole population — has to serve a stream of
+//! `(user, query)` events concurrently. [`ServeRouter`] does that by
+//! splitting the engine's state along its existing hash layouts:
+//!
+//! * the DRAM index becomes a [`ShardedTable`]: shard `s` of `S` owns
+//!   every query with `query_hash % S == s`, behind its own `RwLock`;
+//! * the flash result database keeps its `result_hash % n_files`
+//!   placement (Figure 13), and [`ServeRouter::files_for_shard`] assigns
+//!   file `i` to shard `i % S` so each worker touches a disjoint set of
+//!   database files;
+//! * serving never mutates the table (`PocketSearch::serve` only reads
+//!   it), so every worker serves its shard's events with the exact
+//!   hit/miss outcomes and simulated service times the sequential
+//!   engine would produce.
+//!
+//! [`ServeRouter::serve_batch`] fans a batch out across one
+//! `crossbeam` scoped thread per shard and reports per-shard hit, miss,
+//! and busy-time counters. Aggregate counts are a pure function of the
+//! cache contents, so they are identical for any shard count; what
+//! sharding buys is the *makespan* — the busiest shard's summed service
+//! time — which is what bounds a concurrent fleet's throughput.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use cloudlet_core::shard::ShardedTable;
+use flashdb::ResultDb;
+use mobsim::time::SimDuration;
+use mobsim::FlashStore;
+
+use crate::engine::PocketSearch;
+
+/// One serving request: a user issuing a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetEvent {
+    /// The requesting user (stable identifier; used for accounting and
+    /// future per-user state, not for routing).
+    pub user: u64,
+    /// Stable hash of the query string; routes the event to shard
+    /// `query_hash % shard_count`.
+    pub query_hash: u64,
+}
+
+/// Outcome of serving a single event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetServed {
+    /// Whether the query was served from the cache.
+    pub hit: bool,
+    /// The shard that served it.
+    pub shard: usize,
+    /// Simulated device time to serve it (Table 4 phases).
+    pub service: SimDuration,
+}
+
+/// Monotonic per-shard counters, updated lock-free by workers.
+#[derive(Debug, Default)]
+struct ShardCounters {
+    events: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    busy_micros: AtomicU64,
+}
+
+impl ShardCounters {
+    fn snapshot(&self) -> ShardReport {
+        ShardReport {
+            events: self.events.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            busy: SimDuration::from_micros(self.busy_micros.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// One shard's serving totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardReport {
+    /// Events routed to this shard.
+    pub events: u64,
+    /// Cache hits among them.
+    pub hits: u64,
+    /// Cache misses among them.
+    pub misses: u64,
+    /// Summed simulated service time of this shard's events.
+    pub busy: SimDuration,
+}
+
+impl ShardReport {
+    fn minus(self, earlier: ShardReport) -> ShardReport {
+        ShardReport {
+            events: self.events - earlier.events,
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            busy: self.busy.saturating_sub(earlier.busy),
+        }
+    }
+}
+
+/// Result of a [`ServeRouter::serve_batch`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Per-shard totals for this batch, indexed by shard.
+    pub shards: Vec<ShardReport>,
+    /// Host wall-clock time the batch took (hardware-dependent; the
+    /// simulated numbers below are the machine-independent signal).
+    pub wall: Duration,
+}
+
+impl FleetReport {
+    /// Events served.
+    pub fn events(&self) -> u64 {
+        self.shards.iter().map(|s| s.events).sum()
+    }
+
+    /// Cache hits across shards.
+    pub fn hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.hits).sum()
+    }
+
+    /// Cache misses across shards.
+    pub fn misses(&self) -> u64 {
+        self.shards.iter().map(|s| s.misses).sum()
+    }
+
+    /// Aggregate hit ratio.
+    pub fn hit_rate(&self) -> f64 {
+        let events = self.events();
+        if events == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / events as f64
+        }
+    }
+
+    /// Summed simulated service time across all shards — what one
+    /// serving lane would take to drain the batch alone.
+    pub fn total_busy(&self) -> SimDuration {
+        self.shards.iter().map(|s| s.busy).sum()
+    }
+
+    /// The busiest shard's simulated service time. With one lane per
+    /// shard this is the simulated time until the whole batch is
+    /// drained.
+    pub fn makespan(&self) -> SimDuration {
+        self.shards
+            .iter()
+            .map(|s| s.busy)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Serving throughput in queries per simulated second, at one
+    /// serving lane per shard: `events / makespan`.
+    pub fn throughput_qps(&self) -> f64 {
+        let makespan = self.makespan().as_secs_f64();
+        if makespan == 0.0 {
+            0.0
+        } else {
+            self.events() as f64 / makespan
+        }
+    }
+}
+
+/// Fixed serving-time components, taken from the engine's device model
+/// so router timings match `PocketSearch::serve` (Table 4): lookup,
+/// render + misc, and the warm-radio miss exchange.
+#[derive(Debug, Clone, Copy)]
+struct ServeCosts {
+    lookup: SimDuration,
+    render_and_misc: SimDuration,
+    miss_total: SimDuration,
+}
+
+/// A concurrent serving front-end over a [`PocketSearch`] engine's
+/// state: sharded DRAM index, shared flash database, per-shard
+/// counters.
+///
+/// The router is `Sync`; [`ServeRouter::serve_one`] may be called from
+/// any number of threads. [`ServeRouter::serve_batch`] partitions a
+/// batch by owning shard and drains each shard on its own scoped
+/// thread.
+#[derive(Debug)]
+pub struct ServeRouter {
+    table: ShardedTable,
+    db: ResultDb,
+    flash: FlashStore,
+    costs: ServeCosts,
+    counters: Vec<ShardCounters>,
+}
+
+impl ServeRouter {
+    /// Builds a router over `n_shards` shards from an engine's cache
+    /// table, database, and device timing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_shards` is zero.
+    pub fn from_engine(engine: &PocketSearch, n_shards: usize) -> Self {
+        let device = engine.device();
+        let config = device.config();
+        let browser = device.browser();
+        let render_and_misc = browser.render_serp + browser.misc;
+        // Steady-state miss cost: a fleet keeps its radio warm, so charge
+        // the warm exchange (the sequential engine's first-miss ramp is a
+        // per-device transient, not a per-lane one).
+        let radio = device.radio(engine.config().miss_radio).model();
+        let exchange = radio.warm_exchange_time(config.request_bytes, config.response_bytes);
+        let costs = ServeCosts {
+            lookup: config.lookup_time,
+            render_and_misc,
+            miss_total: config.lookup_time + exchange + render_and_misc,
+        };
+        ServeRouter {
+            table: ShardedTable::from_table(engine.cache().table(), n_shards),
+            db: engine.db().clone(),
+            flash: device.flash().clone(),
+            costs,
+            counters: (0..n_shards).map(|_| ShardCounters::default()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.table.shard_count()
+    }
+
+    /// The sharded DRAM index.
+    pub fn table(&self) -> &ShardedTable {
+        &self.table
+    }
+
+    /// The database files shard `shard` owns: every file `i` with
+    /// `i % shard_count == shard`, consistent with the database's
+    /// `result_hash % n_files` placement.
+    pub fn files_for_shard(&self, shard: usize) -> Vec<String> {
+        (0..self.db.config().n_files)
+            .filter(|i| i % self.shard_count() == shard)
+            .map(|i| self.db.file_name_of(i))
+            .collect()
+    }
+
+    /// Serves one event, updating its shard's counters. Thread-safe;
+    /// reproduces `PocketSearch::serve` semantics: a hit needs both an
+    /// index entry and its top-two records in the database, and an index
+    /// entry whose record is missing degrades into a radio miss.
+    pub fn serve_one(&self, event: FleetEvent) -> FleetServed {
+        let shard = self.table.shard_of(event.query_hash);
+        let top: Option<Vec<u64>> = self
+            .table
+            .read(shard)
+            .lookup(event.query_hash)
+            .map(|results| results.iter().take(2).map(|r| r.result_hash).collect());
+        let (hit, service) = match top {
+            Some(top) => match self.db.get_many(top, &self.flash) {
+                Ok((_, fetch_time)) => (
+                    true,
+                    self.costs.lookup + fetch_time + self.costs.render_and_misc,
+                ),
+                Err(_) => (false, self.costs.miss_total),
+            },
+            None => (false, self.costs.miss_total),
+        };
+        let counters = &self.counters[shard];
+        counters.events.fetch_add(1, Ordering::Relaxed);
+        if hit {
+            counters.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            counters.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        counters
+            .busy_micros
+            .fetch_add(service.as_micros(), Ordering::Relaxed);
+        FleetServed {
+            hit,
+            shard,
+            service,
+        }
+    }
+
+    /// Cumulative per-shard totals since the router was built.
+    pub fn snapshot(&self) -> Vec<ShardReport> {
+        self.counters.iter().map(ShardCounters::snapshot).collect()
+    }
+
+    /// Serves a batch concurrently: events are partitioned by owning
+    /// shard and each non-empty shard is drained by its own scoped
+    /// thread. Returns this batch's per-shard totals (counters advanced
+    /// by concurrent `serve_one` callers are excluded only if no such
+    /// callers run during the batch; don't mix the two mid-batch).
+    pub fn serve_batch(&self, events: &[FleetEvent]) -> FleetReport {
+        let before = self.snapshot();
+        let start = Instant::now();
+
+        let mut per_shard: Vec<Vec<FleetEvent>> = (0..self.shard_count()).map(|_| Vec::new()).collect();
+        for &event in events {
+            per_shard[self.table.shard_of(event.query_hash)].push(event);
+        }
+        crossbeam::thread::scope(|scope| {
+            for lane in &per_shard {
+                if lane.is_empty() {
+                    continue;
+                }
+                scope.spawn(move |_| {
+                    for &event in lane {
+                        self.serve_one(event);
+                    }
+                });
+            }
+        })
+        .expect("fleet worker panicked");
+
+        let wall = start.elapsed();
+        let shards = self
+            .snapshot()
+            .into_iter()
+            .zip(before)
+            .map(|(now, then)| now.minus(then))
+            .collect();
+        FleetReport { shards, wall }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PocketSearchConfig;
+    use crate::engine::{Catalog, PocketSearch};
+    use cloudlet_core::contentgen::{AdmissionPolicy, CacheContents};
+    use cloudlet_core::corpus::UniverseCorpus;
+    use querylog::generator::{GeneratorConfig, LogGenerator};
+    use querylog::triplets::TripletTable;
+
+    fn test_engine() -> (PocketSearch, Vec<u64>) {
+        let mut generator = LogGenerator::new(GeneratorConfig::test_scale(), 11);
+        let month = generator.generate_month();
+        let triplets = TripletTable::from_log(&month);
+        let corpus = UniverseCorpus::new(generator.universe());
+        let contents = CacheContents::generate(
+            &triplets,
+            &corpus,
+            AdmissionPolicy::CumulativeShare { share: 0.55 },
+        );
+        let catalog = Catalog::new(generator.universe());
+        let engine = PocketSearch::build(&contents, &catalog, PocketSearchConfig::default());
+        let cached: Vec<u64> = contents.pairs().iter().map(|p| p.query_hash).collect();
+        (engine, cached)
+    }
+
+    fn batch(cached: &[u64], n: usize) -> Vec<FleetEvent> {
+        (0..n)
+            .map(|i| FleetEvent {
+                user: (i % 7) as u64,
+                // Mix cached queries with guaranteed misses.
+                query_hash: if i % 3 == 0 {
+                    u64::MAX - i as u64
+                } else {
+                    cached[i % cached.len()]
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_outcomes_match_sequential_engine() {
+        let (engine, cached) = test_engine();
+        let events = batch(&cached, 240);
+        let router = ServeRouter::from_engine(&engine, 8);
+        let report = router.serve_batch(&events);
+
+        let mut sequential = engine.clone();
+        let seq_hits = events
+            .iter()
+            .filter(|e| sequential.serve(e.query_hash).hit)
+            .count() as u64;
+
+        assert_eq!(report.events(), events.len() as u64);
+        assert_eq!(report.hits(), seq_hits);
+        assert_eq!(report.misses(), events.len() as u64 - seq_hits);
+    }
+
+    #[test]
+    fn hit_ratio_is_invariant_across_shard_counts() {
+        let (engine, cached) = test_engine();
+        let events = batch(&cached, 300);
+        let baseline = ServeRouter::from_engine(&engine, 1).serve_batch(&events);
+        for shards in [2, 4, 16] {
+            let report = ServeRouter::from_engine(&engine, shards).serve_batch(&events);
+            assert_eq!(report.hits(), baseline.hits(), "{shards} shards");
+            assert_eq!(report.misses(), baseline.misses(), "{shards} shards");
+            assert_eq!(report.total_busy(), baseline.total_busy(), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn sharding_shrinks_makespan() {
+        let (engine, cached) = test_engine();
+        let events = batch(&cached, 400);
+        let one = ServeRouter::from_engine(&engine, 1).serve_batch(&events);
+        let sixteen = ServeRouter::from_engine(&engine, 16).serve_batch(&events);
+        assert!(sixteen.makespan() < one.makespan());
+        assert_eq!(one.makespan(), one.total_busy());
+    }
+
+    #[test]
+    fn file_partition_covers_each_file_once() {
+        let (engine, _) = test_engine();
+        let router = ServeRouter::from_engine(&engine, 5);
+        let mut all: Vec<String> = (0..router.shard_count())
+            .flat_map(|s| router.files_for_shard(s))
+            .collect();
+        all.sort();
+        let n_files = engine.db().config().n_files;
+        assert_eq!(all.len(), n_files);
+        all.dedup();
+        assert_eq!(all.len(), n_files, "no file assigned twice");
+    }
+
+    #[test]
+    fn served_outcome_reports_owning_shard() {
+        let (engine, cached) = test_engine();
+        let router = ServeRouter::from_engine(&engine, 4);
+        let served = router.serve_one(FleetEvent {
+            user: 1,
+            query_hash: cached[0],
+        });
+        assert!(served.hit);
+        assert_eq!(served.shard, (cached[0] % 4) as usize);
+        assert!(served.service > SimDuration::ZERO);
+    }
+}

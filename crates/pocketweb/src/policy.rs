@@ -208,7 +208,11 @@ mod tests {
     fn topk_recovers_most_of_realtime_alls_freshness_cheaply() {
         let (world, streams) = study();
         let overnight = average(&world, RefreshPolicy::OvernightOnly, &streams);
-        let topk = average(&world, RefreshPolicy::RealtimeTopK { k: 20 }, &streams);
+        // k must sit clearly below the users' cached-dynamic page counts
+        // (roughly 15-25 here): at k=20 the top-K set can equal the full
+        // subscription set for some generator seeds, making the "fewer
+        // pushed bytes" comparison a coin flip.
+        let topk = average(&world, RefreshPolicy::RealtimeTopK { k: 10 }, &streams);
         let all = average(&world, RefreshPolicy::RealtimeAll, &streams);
 
         // Freshness ordering: overnight < top-K <= all.

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full local gate: what CI runs, in the order a developer wants failures
+# surfaced. Works fully offline — every external dependency resolves to
+# a vendored path crate (see [workspace.dependencies] in Cargo.toml).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "All checks passed."

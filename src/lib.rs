@@ -64,6 +64,7 @@ pub mod prelude {
     pub use cloudlet_core::contentgen::{AdmissionPolicy, CacheContents};
     pub use cloudlet_core::corpus::UniverseCorpus;
     pub use cloudlet_core::ranking::RankingPolicy;
+    pub use cloudlet_core::shard::ShardedTable;
     pub use cloudlet_core::update::UpdateServer;
     pub use flashdb::{DbConfig, ResultDb, ResultRecord};
     pub use mobsim::device::Device;
@@ -76,6 +77,7 @@ pub mod prelude {
     pub use pocketsearch::config::PocketSearchConfig;
     pub use pocketsearch::engine::{Catalog, PocketSearch};
     pub use pocketsearch::experiment::{run_hit_rate_study, HitRateConfig};
+    pub use pocketsearch::fleet::{FleetEvent, FleetReport, ServeRouter};
     pub use pocketsearch::replay::{replay_population, replay_user, ClassSummary};
     pub use pocketweb::{PocketWeb, RefreshPolicy, WebWorld, WorldConfig};
     pub use querylog::generator::{GeneratorConfig, LogGenerator};

@@ -1,0 +1,126 @@
+//! Concurrency smoke tests for the sharded serving layer: many threads
+//! hammering [`ServeRouter::serve_one`] must never lose a counter
+//! update, and sharding must buy real simulated throughput without
+//! moving the hit ratio.
+
+use std::thread;
+
+use pocket_bench::{fleet_workload, test_scale_study_inputs};
+use pocket_cloudlets::pocketsearch::config::PocketSearchConfig;
+use pocket_cloudlets::pocketsearch::engine::PocketSearch;
+use pocket_cloudlets::pocketsearch::fleet::ServeRouter;
+
+const THREADS: usize = 8;
+const EVENTS_PER_THREAD: usize = 500;
+
+#[test]
+fn eight_threads_lose_no_counter_updates() {
+    let inputs = test_scale_study_inputs(51);
+    let engine = PocketSearch::build(
+        &inputs.contents,
+        &inputs.catalog,
+        PocketSearchConfig::default(),
+    );
+    let events = fleet_workload(&inputs, 32, THREADS * EVENTS_PER_THREAD, 52);
+    let router = ServeRouter::from_engine(&engine, 8);
+
+    // Each thread drains a disjoint slice of the stream through the
+    // shared router; every serve_one picks its shard from the hash, so
+    // all threads contend on all shards.
+    let router = &router;
+    thread::scope(|scope| {
+        for lane in events.chunks(EVENTS_PER_THREAD) {
+            scope.spawn(move || {
+                for &event in lane {
+                    router.serve_one(event);
+                }
+            });
+        }
+    });
+
+    let totals = router.snapshot();
+    let served: u64 = totals.iter().map(|s| s.events).sum();
+    assert_eq!(served, (THREADS * EVENTS_PER_THREAD) as u64);
+    for (shard, report) in totals.iter().enumerate() {
+        assert_eq!(
+            report.hits + report.misses,
+            report.events,
+            "shard {shard} counters disagree"
+        );
+        let expected = events
+            .iter()
+            .filter(|e| e.query_hash % 8 == shard as u64)
+            .count() as u64;
+        assert_eq!(report.events, expected, "shard {shard} event total");
+    }
+}
+
+#[test]
+fn serve_one_and_serve_batch_agree_under_contention() {
+    let inputs = test_scale_study_inputs(53);
+    let engine = PocketSearch::build(
+        &inputs.contents,
+        &inputs.catalog,
+        PocketSearchConfig::default(),
+    );
+    let events = fleet_workload(&inputs, 32, 1_000, 54);
+
+    // Ground truth from a batched run on a fresh router.
+    let batch_report = ServeRouter::from_engine(&engine, 4).serve_batch(&events);
+
+    // The same stream hammered thread-per-chunk through serve_one.
+    let router = ServeRouter::from_engine(&engine, 4);
+    let router = &router;
+    thread::scope(|scope| {
+        for lane in events.chunks(events.len() / THREADS + 1) {
+            scope.spawn(move || {
+                for &event in lane {
+                    router.serve_one(event);
+                }
+            });
+        }
+    });
+
+    let totals = router.snapshot();
+    let hits: u64 = totals.iter().map(|s| s.hits).sum();
+    let misses: u64 = totals.iter().map(|s| s.misses).sum();
+    let busy: Vec<_> = totals.iter().map(|s| s.busy).collect();
+    assert_eq!(hits, batch_report.hits());
+    assert_eq!(misses, batch_report.misses());
+    assert_eq!(
+        busy,
+        batch_report
+            .shards
+            .iter()
+            .map(|s| s.busy)
+            .collect::<Vec<_>>(),
+        "per-shard busy time must not depend on the thread layout"
+    );
+}
+
+/// The acceptance claim of the serving layer: on a Zipf workload,
+/// sixteen shards deliver at least twice the simulated throughput of a
+/// single shard while the aggregate hit ratio stays exactly the same.
+#[test]
+fn sixteen_shards_at_least_double_throughput() {
+    let inputs = test_scale_study_inputs(55);
+    let engine = PocketSearch::build(
+        &inputs.contents,
+        &inputs.catalog,
+        PocketSearchConfig::default(),
+    );
+    let events = fleet_workload(&inputs, 64, 2_000, 56);
+
+    let one = ServeRouter::from_engine(&engine, 1).serve_batch(&events);
+    let sixteen = ServeRouter::from_engine(&engine, 16).serve_batch(&events);
+
+    assert_eq!(one.hits(), sixteen.hits(), "hit ratio must be invariant");
+    assert_eq!(one.misses(), sixteen.misses());
+    assert!(one.hits() > 0 && one.misses() > 0, "workload exercises both paths");
+
+    let speedup = sixteen.throughput_qps() / one.throughput_qps();
+    assert!(
+        speedup >= 2.0,
+        "16 shards delivered only {speedup:.2}x the simulated throughput of 1"
+    );
+}

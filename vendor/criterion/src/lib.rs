@@ -1,0 +1,243 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Reproduces the call shape the workspace's benches use — `Criterion`,
+//! `bench_function`, `benchmark_group`, `Bencher::iter`/`iter_batched`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros — on
+//! top of a small wall-clock harness: a short warm-up, then timed batches
+//! until a time budget is spent, reporting the median per-iteration time.
+//! No statistical analysis, plotting, or baseline storage.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped per timing measurement. The stub times
+/// one routine call per setup regardless, so the variants only document
+/// intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Collected per-iteration samples for one benchmark.
+struct Samples {
+    per_iter: Vec<Duration>,
+}
+
+impl Samples {
+    fn report(&mut self, name: &str) {
+        if self.per_iter.is_empty() {
+            println!("{name:<50} time: [no samples]");
+            return;
+        }
+        self.per_iter.sort_unstable();
+        let median = self.per_iter[self.per_iter.len() / 2];
+        let lo = self.per_iter[self.per_iter.len() / 20];
+        let hi = self.per_iter[(self.per_iter.len() * 19 / 20).min(self.per_iter.len() - 1)];
+        println!(
+            "{name:<50} time: [{} {} {}]",
+            fmt_duration(lo),
+            fmt_duration(median),
+            fmt_duration(hi)
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure of `bench_function`.
+pub struct Bencher<'a> {
+    samples: &'a mut Samples,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            std::hint::black_box(routine());
+        }
+        let deadline = Instant::now() + self.measure;
+        while Instant::now() < deadline && self.samples.per_iter.len() < 100_000 {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.per_iter.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        let deadline = Instant::now() + self.measure;
+        while Instant::now() < deadline && self.samples.per_iter.len() < 100_000 {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.per_iter.push(start.elapsed());
+        }
+    }
+}
+
+/// The bench context passed to every `criterion_group!` target.
+pub struct Criterion {
+    filter: Option<String>,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            warm_up: Duration::from_millis(60),
+            measure: Duration::from_millis(250),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a context from `cargo bench` CLI arguments: the first
+    /// non-flag argument is a substring filter, criterion/libtest flags
+    /// are accepted and ignored.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                c.filter = Some(arg);
+            }
+        }
+        c
+    }
+
+    fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let name = name.into();
+        if self.enabled(&name) {
+            let mut samples = Samples {
+                per_iter: Vec::new(),
+            };
+            let mut bencher = Bencher {
+                samples: &mut samples,
+                warm_up: self.warm_up,
+                measure: self.measure,
+            };
+            f(&mut bencher);
+            samples.report(&name);
+        }
+        self
+    }
+
+    /// Starts a named group; group benches report as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.into(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.prefix, name.into());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Ends the group (reporting is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group: a function that runs each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+/// Opaque value sink, re-exported for criterion-idiom compatibility.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples_and_filters() {
+        let mut c = Criterion {
+            filter: Some("keep".into()),
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        };
+        let mut ran = 0u32;
+        c.bench_function("keep/this", |b| b.iter(|| 1 + 1));
+        c.bench_function("skip/this", |_b| ran += 1);
+        assert_eq!(ran, 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion {
+            filter: None,
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        };
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,104 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::thread::scope` with the crossbeam 0.8 call shape
+//! (`scope.spawn(move |_| ...)`, `scope(..)` returning a `Result`), backed
+//! by `std::thread::scope`. Only the scoped-thread API the workspace uses
+//! is reproduced.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope handle passed to `scope` closures and to each spawned
+    /// thread (crossbeam passes `&Scope`; here the handle is `Copy`, so
+    /// `move |_|` closures work identically).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope handle,
+        /// allowing nested spawns.
+        pub fn spawn<F, T>(self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(self)),
+            }
+        }
+    }
+
+    /// Handle to a scoped thread, joinable before the scope ends.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning `Err` if it panicked.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope in which threads can be spawned; all spawned
+    /// threads are joined before this returns. Returns `Err` with the
+    /// panic payload if the closure or any un-joined spawned thread
+    /// panicked (matching crossbeam, where std's version would re-panic).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scoped_threads_see_borrowed_state() {
+            let counter = AtomicUsize::new(0);
+            let total = super::scope(|scope| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| scope.spawn(|_| counter.fetch_add(1, Ordering::Relaxed)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).count()
+            })
+            .unwrap();
+            assert_eq!(total, 4);
+            assert_eq!(counter.load(Ordering::Relaxed), 4);
+        }
+
+        #[test]
+        fn panics_surface_as_err() {
+            let result = super::scope(|scope| {
+                scope.spawn(|_| panic!("boom"));
+            });
+            assert!(result.is_err());
+        }
+
+        #[test]
+        fn nested_spawns_compile_and_run() {
+            let result = super::scope(|scope| {
+                scope
+                    .spawn(move |inner| inner.spawn(move |_| 21).join().unwrap() * 2)
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(result, 42);
+        }
+    }
+}

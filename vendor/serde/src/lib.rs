@@ -1,0 +1,30 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` — nothing
+//! serializes through serde at runtime (wire formats are hand-rolled in
+//! `flashdb` and friends). So the traits here are empty markers with
+//! blanket implementations, and the derive macros (re-exported from
+//! `serde_derive`, same as real serde's `derive` feature) expand to
+//! nothing. If a future PR needs real serialization, replace this stub
+//! with the actual crates.io dependency.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all
+/// types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization-side namespace, mirroring `serde::de`.
+pub mod de {
+    pub use super::DeserializeOwned;
+}

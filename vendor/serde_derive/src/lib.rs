@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stand-in.
+//!
+//! The sibling `serde` crate blanket-implements its marker traits for every
+//! type, so these derives have nothing to generate — they only need to
+//! exist so `#[derive(Serialize, Deserialize)]` (and any `#[serde(...)]`
+//! helper attributes) parse exactly as with real serde.
+
+use proc_macro::TokenStream;
+
+/// Derives `serde::Serialize` (a no-op: the trait is blanket-implemented).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives `serde::Deserialize` (a no-op: the trait is blanket-implemented).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
