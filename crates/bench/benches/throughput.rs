@@ -23,7 +23,11 @@ const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
 
 fn bench_serve_batch(c: &mut Criterion) {
     let inputs = test_scale_study_inputs(21);
-    let engine = PocketSearch::build(&inputs.contents, &inputs.catalog, PocketSearchConfig::default());
+    let engine = PocketSearch::build(
+        &inputs.contents,
+        &inputs.catalog,
+        PocketSearchConfig::default(),
+    );
     let events = fleet_workload(&inputs, 64, 2_000, 77);
 
     let mut group = c.benchmark_group("fleet/serve_batch_2k");
@@ -49,7 +53,7 @@ fn bench_serve_batch(c: &mut Criterion) {
     let mut baseline_qps = None;
     for shards in SHARD_COUNTS {
         let router = ServeRouter::from_engine(&engine, shards);
-        let report = router.serve_batch(&events);
+        let report = router.serve_batch(&events).expect("fleet batch");
         let qps = report.throughput_qps();
         let speedup = match baseline_qps {
             None => {
@@ -72,7 +76,11 @@ fn bench_serve_batch(c: &mut Criterion) {
 
 fn bench_serve_one(c: &mut Criterion) {
     let inputs = test_scale_study_inputs(21);
-    let engine = PocketSearch::build(&inputs.contents, &inputs.catalog, PocketSearchConfig::default());
+    let engine = PocketSearch::build(
+        &inputs.contents,
+        &inputs.catalog,
+        PocketSearchConfig::default(),
+    );
     let events = fleet_workload(&inputs, 64, 512, 78);
     let router = ServeRouter::from_engine(&engine, 16);
     let mut i = 0;

@@ -39,8 +39,8 @@ use pocket_bench::{
 };
 use pocketsearch::config::PocketSearchConfig;
 use pocketsearch::engine::PocketSearch;
-use pocketsearch::fleet::ServeRouter;
 use pocketsearch::experiment::{run_hit_rate_study, select_streams, HitRateConfig};
+use pocketsearch::fleet::ServeRouter;
 use pocketsearch::replay::replay_population;
 
 struct Options {
@@ -625,7 +625,11 @@ fn fleet_study(opts: &Options) {
     } else {
         test_scale_study_inputs(opts.seed)
     };
-    let engine = PocketSearch::build(&inputs.contents, &inputs.catalog, PocketSearchConfig::default());
+    let engine = PocketSearch::build(
+        &inputs.contents,
+        &inputs.catalog,
+        PocketSearchConfig::default(),
+    );
     let (users, n_events) = if opts.full_scale {
         (1_000, 50_000)
     } else {
@@ -635,19 +639,12 @@ fn fleet_study(opts: &Options) {
 
     let mut table = Table::new(
         format!("Ablation: sharded serving fleet ({n_events} Zipf events, {users} users)"),
-        &[
-            "shards",
-            "hit rate",
-            "makespan (sim)",
-            "sim qps",
-            "speedup",
-            "wall ms",
-        ],
+        &["shards", "hit rate", "makespan (sim)", "sim qps", "speedup"],
     );
     let mut baseline_qps = None;
     for shards in [1, 2, 4, 8, 16] {
         let router = ServeRouter::from_engine(&engine, shards);
-        let report = router.serve_batch(&events);
+        let report = router.serve_batch(&events).expect("fleet batch");
         let qps = report.throughput_qps();
         let base = *baseline_qps.get_or_insert(qps);
         table.row(&[
@@ -656,7 +653,6 @@ fn fleet_study(opts: &Options) {
             format!("{:.2} s", report.makespan().as_secs_f64()),
             format!("{qps:.1}"),
             format!("{:.2}x", qps / base),
-            format!("{:.0}", report.wall.as_secs_f64() * 1e3),
         ]);
     }
     println!("{}", table.render());

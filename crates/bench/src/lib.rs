@@ -12,4 +12,6 @@ pub mod render;
 pub mod workloads;
 
 pub use render::{ascii_chart, Table};
-pub use workloads::{fleet_workload, full_scale_study_inputs, test_scale_study_inputs, StudyInputs};
+pub use workloads::{
+    fleet_workload, full_scale_study_inputs, test_scale_study_inputs, StudyInputs,
+};

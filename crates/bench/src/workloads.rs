@@ -94,10 +94,7 @@ pub fn fleet_workload(
     let index = WeightedIndex::new(profile.weights(ranked.len()));
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n_events)
-        .map(|_| FleetEvent {
-            user: rng.random_range(0..users),
-            query_hash: ranked[index.sample(&mut rng)],
-        })
+        .map(|_| FleetEvent::search(rng.random_range(0..users), ranked[index.sample(&mut rng)]))
         .collect()
 }
 

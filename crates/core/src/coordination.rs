@@ -92,7 +92,7 @@ impl CloudletBudgets {
                 let fair = (remaining as f64 * d.priority / weight).floor() as usize;
                 let want = d.demand_bytes.saturating_sub(already);
                 let take = fair.min(want);
-                *granted.get_mut(&d.cloudlet).expect("registered") += take;
+                *granted.entry(d.cloudlet).or_insert(0) += take;
                 distributed += take;
                 if take < want {
                     next_active.push(*d);
@@ -103,11 +103,11 @@ impl CloudletBudgets {
                 // last few bytes to the highest-priority unsatisfied demand.
                 if let Some(d) = next_active
                     .iter()
-                    .max_by(|a, b| a.priority.partial_cmp(&b.priority).expect("finite"))
+                    .max_by(|a, b| a.priority.total_cmp(&b.priority))
                 {
                     let already = granted[&d.cloudlet];
                     let take = remaining.min(d.demand_bytes.saturating_sub(already));
-                    *granted.get_mut(&d.cloudlet).expect("registered") += take;
+                    *granted.entry(d.cloudlet).or_insert(0) += take;
                 }
                 break;
             }

@@ -172,10 +172,12 @@ impl QueryHashTable {
         // Pass 2: first free slot along the chain.
         let chain_len = salt;
         for s in 0..chain_len {
-            let entry = self
-                .entries
-                .get_mut(&(query_hash, s))
-                .expect("chain is contiguous");
+            // Pass 1 walked salts 0..chain_len, so every one of these
+            // entries exists; the `else` arm is unreachable but keeps
+            // the hot path panic-free.
+            let Some(entry) = self.entries.get_mut(&(query_hash, s)) else {
+                break;
+            };
             if let Some(free) = entry.slots.iter_mut().find(|x| x.is_none()) {
                 *free = Some(Slot { result_hash, score });
                 return true;
@@ -210,8 +212,7 @@ impl QueryHashTable {
         }
         out.sort_by(|a, b| {
             b.score
-                .partial_cmp(&a.score)
-                .expect("scores are finite")
+                .total_cmp(&a.score)
                 .then(a.result_hash.cmp(&b.result_hash))
         });
         Some(out)
@@ -320,8 +321,7 @@ impl QueryHashTable {
         for (query_hash, mut slots) in survivors {
             slots.sort_by(|a, b| {
                 b.0.score
-                    .partial_cmp(&a.0.score)
-                    .expect("scores are finite")
+                    .total_cmp(&a.0.score)
                     .then(a.0.result_hash.cmp(&b.0.result_hash))
             });
             for (chunk_idx, chunk) in slots.chunks(SLOTS_PER_ENTRY).enumerate() {
@@ -615,7 +615,10 @@ mod tests {
         t.mark_accessed(1, 104).unwrap();
         let records = t.to_records();
         let tail = records.iter().find(|r| r.salt == 2).expect("salt-2 entry");
-        assert!(tail.slots.iter().any(|&(hash, _, accessed)| hash == 104 && accessed));
+        assert!(tail
+            .slots
+            .iter()
+            .any(|&(hash, _, accessed)| hash == 104 && accessed));
 
         let rebuilt = QueryHashTable::from_records(&records);
         assert_eq!(rebuilt.lookup(1), t.lookup(1));

@@ -23,6 +23,9 @@
 //! * [`update`] — the §5.4 client/server cache-management protocol.
 //! * [`coordination`] — §7's multi-cloudlet resource coordination:
 //!   budgets, coordinated eviction, and access isolation.
+//! * [`service`] — the unified serving waist of §7: the
+//!   [`CloudletService`] trait, the shared [`ServeOutcome`]/[`ServeStats`]
+//!   taxonomy, and the workspace-level [`CloudletError`].
 //! * [`corpus`] — the small trait that ties hashes and record sizes back
 //!   to a concrete corpus (implemented for `querylog::Universe`).
 //! * [`shard`] — the query hash table partitioned into independently
@@ -68,6 +71,7 @@ pub mod corpus;
 pub mod error;
 pub mod hashtable;
 pub mod ranking;
+pub mod service;
 pub mod shard;
 pub mod update;
 
@@ -78,5 +82,6 @@ pub use corpus::{CorpusView, UniverseCorpus};
 pub use error::CoreError;
 pub use hashtable::{QueryHashTable, ScoredResult, SLOTS_PER_ENTRY};
 pub use ranking::RankingPolicy;
+pub use service::{CloudletError, CloudletService, ServeKind, ServeOutcome, ServeStats};
 pub use shard::ShardedTable;
 pub use update::{UpdateBundle, UpdateServer};

@@ -1,0 +1,425 @@
+//! The unified cloudlet service layer (§7's many-cloudlet device).
+//!
+//! The paper's §7 pictures several cloudlets — search, advertisements,
+//! maps, web content — coexisting on one handset under a shared budget
+//! arbiter ([`crate::coordination`]). Each reproduction crate originally
+//! grew its own serve loop, its own hit/miss bookkeeping, and its own
+//! error story, which meant fleet-level machinery (routing, budget
+//! arbitration, reporting) could only ever see one of them at a time.
+//!
+//! This module is the common waist:
+//!
+//! * [`CloudletService`] — one object-safe trait every cloudlet serves
+//!   through: `serve(key, now)` answers a single keyed request in
+//!   simulated time, and the capacity hooks (`cache_bytes`,
+//!   `capacity_bytes`, `budget_demand`) let the §7 budget arbiter
+//!   inspect heterogeneous cloudlets uniformly.
+//! * [`ServeOutcome`] / [`ServeKind`] — the outcome taxonomy that
+//!   subsumes the per-crate vocabularies: a search hit, a web page's
+//!   stale refetch, a map viewport miss, and a skipped ad consultation
+//!   all project onto `{Hit, StaleHit, Miss, Skipped}` plus radio bytes
+//!   and simulated service time.
+//! * [`ServeStats`] — monotone counters accumulated from outcomes,
+//!   replacing the four divergent stats structs for anything that needs
+//!   to compare or aggregate across cloudlets.
+//! * [`CloudletError`] — the workspace-level error type. Storage and
+//!   engine errors from downstream crates convert into it via `From`
+//!   impls (downstream, where the orphan rule allows them), so a
+//!   heterogeneous router surfaces one typed error end-to-end instead
+//!   of a panic.
+//!
+//! Keys are service-defined `u64`s, in keeping with the rest of this
+//! crate: a query hash for search and ads, a page index for web, a
+//! packed tile coordinate for maps. The router layer in `pocketsearch::
+//! fleet` routes `(service, key)` pairs onto `dyn CloudletService`
+//! lanes without knowing which cloudlet is behind each lane.
+
+use mobsim::time::{SimDuration, SimInstant};
+use serde::{Deserialize, Serialize};
+
+use crate::coordination::{BudgetDemand, CloudletId};
+use crate::error::CoreError;
+
+/// How a single request was answered, in the shared taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServeKind {
+    /// Served entirely from the cloudlet's local state.
+    Hit,
+    /// Served locally but the content was stale, so a background
+    /// refetch was charged (pocketweb's `StaleRefetch`).
+    StaleHit,
+    /// Not servable locally; the radio had to fetch it.
+    Miss,
+    /// The cloudlet declined to answer (an ad consultation on a search
+    /// miss: once the radio must wake anyway, the ad cache is not
+    /// consulted).
+    Skipped,
+}
+
+/// The outcome of serving one keyed request through a
+/// [`CloudletService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeOutcome {
+    /// How the request was answered.
+    pub kind: ServeKind,
+    /// Radio bytes the answer cost (0 for a pure local hit).
+    pub radio_bytes: u64,
+    /// Simulated device time spent serving it (zero for cloudlets
+    /// whose model does not charge serve time).
+    pub service: SimDuration,
+}
+
+impl ServeOutcome {
+    /// A pure local hit: no radio traffic.
+    pub fn hit() -> Self {
+        ServeOutcome {
+            kind: ServeKind::Hit,
+            radio_bytes: 0,
+            service: SimDuration::ZERO,
+        }
+    }
+
+    /// A local answer that triggered a `radio_bytes` freshness refetch.
+    pub fn stale_hit(radio_bytes: u64) -> Self {
+        ServeOutcome {
+            kind: ServeKind::StaleHit,
+            radio_bytes,
+            service: SimDuration::ZERO,
+        }
+    }
+
+    /// A miss that cost `radio_bytes` over the radio.
+    pub fn miss(radio_bytes: u64) -> Self {
+        ServeOutcome {
+            kind: ServeKind::Miss,
+            radio_bytes,
+            service: SimDuration::ZERO,
+        }
+    }
+
+    /// A declined consultation.
+    pub fn skipped() -> Self {
+        ServeOutcome {
+            kind: ServeKind::Skipped,
+            radio_bytes: 0,
+            service: SimDuration::ZERO,
+        }
+    }
+
+    /// Attaches the simulated service time.
+    #[must_use]
+    pub fn with_service(mut self, service: SimDuration) -> Self {
+        self.service = service;
+        self
+    }
+
+    /// Whether the request was answered from local state (a plain or
+    /// stale hit).
+    pub fn served_locally(&self) -> bool {
+        matches!(self.kind, ServeKind::Hit | ServeKind::StaleHit)
+    }
+}
+
+/// Monotone serving counters shared by every cloudlet.
+///
+/// `record` folds a [`ServeOutcome`] in; `merge` combines counters from
+/// independent lanes. Each legacy stats struct projects onto this one
+/// (see the per-crate `CloudletService` impls), which is what lets a
+/// heterogeneous fleet report aggregate hit ratios at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Requests served (all kinds, including skipped consultations).
+    pub serves: u64,
+    /// Pure local hits.
+    pub hits: u64,
+    /// Local answers that charged a freshness refetch.
+    pub stale_hits: u64,
+    /// Radio misses.
+    pub misses: u64,
+    /// Declined consultations.
+    pub skipped: u64,
+    /// Total radio bytes across all outcomes.
+    pub radio_bytes: u64,
+    /// Total simulated service time.
+    pub busy: SimDuration,
+}
+
+impl ServeStats {
+    /// Folds one outcome into the counters.
+    pub fn record(&mut self, outcome: &ServeOutcome) {
+        self.serves += 1;
+        match outcome.kind {
+            ServeKind::Hit => self.hits += 1,
+            ServeKind::StaleHit => self.stale_hits += 1,
+            ServeKind::Miss => self.misses += 1,
+            ServeKind::Skipped => self.skipped += 1,
+        }
+        self.radio_bytes += outcome.radio_bytes;
+        self.busy += outcome.service;
+    }
+
+    /// Requests the cloudlet actually attempted (serves minus skipped).
+    pub fn attempted(&self) -> u64 {
+        self.serves - self.skipped
+    }
+
+    /// Pure-hit rate over attempted requests (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        if self.attempted() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.attempted() as f64
+        }
+    }
+
+    /// Locally-served rate (hits + stale hits) over attempted requests.
+    pub fn local_rate(&self) -> f64 {
+        if self.attempted() == 0 {
+            0.0
+        } else {
+            (self.hits + self.stale_hits) as f64 / self.attempted() as f64
+        }
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &ServeStats) {
+        self.serves += other.serves;
+        self.hits += other.hits;
+        self.stale_hits += other.stale_hits;
+        self.misses += other.misses;
+        self.skipped += other.skipped;
+        self.radio_bytes += other.radio_bytes;
+        self.busy += other.busy;
+    }
+}
+
+/// The workspace-level serving error.
+///
+/// Downstream crates convert their own errors into this one via `From`
+/// impls defined next to those error types (the orphan rule allows
+/// `impl From<DbError> for CloudletError` inside `flashdb`), so the
+/// fleet router and every `CloudletService` impl speak one error
+/// language without this crate depending on any of them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CloudletError {
+    /// A cache-architecture error from this crate.
+    Core(CoreError),
+    /// A storage-layer failure, carried as text so `cloudlet-core`
+    /// stays independent of the storage crate's error type.
+    Storage {
+        /// Human-readable description of the storage failure.
+        detail: String,
+    },
+    /// The key does not name anything this cloudlet can serve.
+    UnknownKey {
+        /// The offending key.
+        key: u64,
+    },
+    /// A batch named a service group the router does not host.
+    UnknownService {
+        /// The offending service group index.
+        service: u32,
+    },
+    /// A concurrent serving worker died before finishing its lane.
+    WorkerFailed {
+        /// Human-readable description of the failure.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CloudletError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CloudletError::Core(e) => write!(f, "cache error: {e}"),
+            CloudletError::Storage { detail } => write!(f, "storage error: {detail}"),
+            CloudletError::UnknownKey { key } => write!(f, "no such key: {key:#x}"),
+            CloudletError::UnknownService { service } => {
+                write!(f, "no such service group: {service}")
+            }
+            CloudletError::WorkerFailed { detail } => write!(f, "serving worker failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CloudletError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CloudletError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for CloudletError {
+    fn from(e: CoreError) -> Self {
+        CloudletError::Core(e)
+    }
+}
+
+/// One cloudlet behind the unified serving interface.
+///
+/// The trait is object-safe: the fleet router stores
+/// `Box<dyn CloudletService + Send>` lanes and routes `(service, key)`
+/// events onto them without knowing the concrete cloudlet. Implementors
+/// must keep `service_stats` consistent with the outcomes `serve`
+/// returned — the equivalence property tests pin each impl to its
+/// legacy serve loop.
+pub trait CloudletService {
+    /// Short stable name for reports ("search", "web", "maps", "ads").
+    fn name(&self) -> &'static str;
+
+    /// Serves one keyed request at simulated instant `now`.
+    ///
+    /// A miss is a *successful* serve (the radio answered); `Err` is
+    /// reserved for requests the cloudlet cannot process at all — an
+    /// unknown key, corrupted storage, a broken invariant.
+    fn serve(&mut self, key: u64, now: SimInstant) -> Result<ServeOutcome, CloudletError>;
+
+    /// Counters accumulated by `serve` since construction.
+    fn service_stats(&self) -> ServeStats;
+
+    /// Bytes of device memory the cloudlet's cached state occupies now.
+    fn cache_bytes(&self) -> u64;
+
+    /// Bytes the cloudlet is sized for (its flash/DRAM budget). The
+    /// default assumes the cloudlet is exactly as big as what it
+    /// caches.
+    fn capacity_bytes(&self) -> u64 {
+        self.cache_bytes()
+    }
+
+    /// This cloudlet's demand on a shared §7 index budget, for
+    /// [`crate::coordination::CloudletBudgets::register`].
+    fn budget_demand(&self, cloudlet: CloudletId, priority: f64) -> BudgetDemand {
+        BudgetDemand {
+            cloudlet,
+            demand_bytes: usize::try_from(self.capacity_bytes()).unwrap_or(usize::MAX),
+            priority,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic toy service: even keys hit, key 7 is unknown,
+    /// everything else misses 100 bytes.
+    struct ToyService {
+        stats: ServeStats,
+    }
+
+    impl CloudletService for ToyService {
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+
+        fn serve(&mut self, key: u64, _now: SimInstant) -> Result<ServeOutcome, CloudletError> {
+            if key == 7 {
+                return Err(CloudletError::UnknownKey { key });
+            }
+            let outcome = if key.is_multiple_of(2) {
+                ServeOutcome::hit().with_service(SimDuration::from_micros(5))
+            } else {
+                ServeOutcome::miss(100).with_service(SimDuration::from_micros(50))
+            };
+            self.stats.record(&outcome);
+            Ok(outcome)
+        }
+
+        fn service_stats(&self) -> ServeStats {
+            self.stats
+        }
+
+        fn cache_bytes(&self) -> u64 {
+            4096
+        }
+    }
+
+    #[test]
+    fn outcomes_fold_into_stats() {
+        let mut svc = ToyService {
+            stats: ServeStats::default(),
+        };
+        for key in 0..10 {
+            if key == 7 {
+                assert_eq!(
+                    svc.serve(key, SimInstant::ZERO),
+                    Err(CloudletError::UnknownKey { key: 7 })
+                );
+            } else {
+                svc.serve(key, SimInstant::ZERO).expect("toy serve");
+            }
+        }
+        let stats = svc.service_stats();
+        assert_eq!(stats.serves, 9);
+        assert_eq!(stats.hits, 5);
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.radio_bytes, 400);
+        assert_eq!(
+            stats.busy,
+            SimDuration::from_micros(5 * 5 + 4 * 50),
+            "busy sums per-outcome service time"
+        );
+        assert!((stats.hit_rate() - 5.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stale_and_skipped_outcomes_are_tracked_separately() {
+        let mut stats = ServeStats::default();
+        stats.record(&ServeOutcome::hit());
+        stats.record(&ServeOutcome::stale_hit(64));
+        stats.record(&ServeOutcome::skipped());
+        assert_eq!(stats.stale_hits, 1);
+        assert_eq!(stats.skipped, 1);
+        assert_eq!(stats.attempted(), 2);
+        assert_eq!(stats.radio_bytes, 64);
+        assert!(ServeOutcome::stale_hit(64).served_locally());
+        assert!(!ServeOutcome::skipped().served_locally());
+        assert!((stats.local_rate() - 1.0).abs() < 1e-12);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = ServeStats::default();
+        a.record(&ServeOutcome::hit());
+        let mut b = ServeStats::default();
+        b.record(&ServeOutcome::miss(10).with_service(SimDuration::from_micros(3)));
+        a.merge(&b);
+        assert_eq!(a.serves, 2);
+        assert_eq!(a.hits, 1);
+        assert_eq!(a.misses, 1);
+        assert_eq!(a.radio_bytes, 10);
+        assert_eq!(a.busy, SimDuration::from_micros(3));
+    }
+
+    #[test]
+    fn budget_demand_uses_capacity() {
+        let svc = ToyService {
+            stats: ServeStats::default(),
+        };
+        let demand = svc.budget_demand(CloudletId(3), 2.0);
+        assert_eq!(demand.cloudlet, CloudletId(3));
+        assert_eq!(demand.demand_bytes, 4096);
+        assert!((demand.priority - 2.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn errors_display_and_convert() {
+        let core_err = CoreError::QueryNotCached { query_hash: 9 };
+        let wrapped: CloudletError = core_err.clone().into();
+        assert_eq!(wrapped, CloudletError::Core(core_err));
+        assert!(wrapped.to_string().contains("cache error"));
+        assert!(CloudletError::UnknownService { service: 4 }
+            .to_string()
+            .contains("service group: 4"));
+        use std::error::Error;
+        assert!(wrapped.source().is_some());
+        assert!(CloudletError::Storage {
+            detail: "flash gone".into()
+        }
+        .source()
+        .is_none());
+    }
+}

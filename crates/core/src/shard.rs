@@ -9,7 +9,7 @@
 //! (see the `pocketsearch` crate's `fleet` module) fan queries out
 //! across worker threads.
 
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::hashtable::{EntryRecord, QueryHashTable, ScoredResult};
 
@@ -83,22 +83,30 @@ impl ShardedTable {
         (query_hash % self.shards.len() as u64) as usize
     }
 
-    /// Read access to one shard's table.
+    /// Read access to one shard's table. A poisoned lock (a reader
+    /// panicked while holding it) is recovered rather than propagated:
+    /// readers never leave the table mid-mutation, so the state is
+    /// intact.
     ///
     /// # Panics
     ///
-    /// Panics when `shard` is out of range or the lock is poisoned.
+    /// Panics when `shard` is out of range.
     pub fn read(&self, shard: usize) -> RwLockReadGuard<'_, QueryHashTable> {
-        self.shards[shard].read().expect("shard lock poisoned")
+        self.shards[shard]
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Write access to one shard's table.
+    /// Write access to one shard's table, recovering a poisoned lock
+    /// the same way [`ShardedTable::read`] does.
     ///
     /// # Panics
     ///
-    /// Panics when `shard` is out of range or the lock is poisoned.
+    /// Panics when `shard` is out of range.
     pub fn write(&self, shard: usize) -> RwLockWriteGuard<'_, QueryHashTable> {
-        self.shards[shard].write().expect("shard lock poisoned")
+        self.shards[shard]
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Looks `query_hash` up in its owning shard; results match the
@@ -111,7 +119,11 @@ impl ShardedTable {
     pub fn pair_count(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("shard lock poisoned").pair_count())
+            .map(|s| {
+                s.read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .pair_count()
+            })
             .sum()
     }
 
@@ -119,7 +131,11 @@ impl ShardedTable {
     pub fn entry_count(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("shard lock poisoned").entry_count())
+            .map(|s| {
+                s.read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .entry_count()
+            })
             .sum()
     }
 
@@ -128,7 +144,11 @@ impl ShardedTable {
     pub fn footprint_bytes(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("shard lock poisoned").footprint_bytes())
+            .map(|s| {
+                s.read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .footprint_bytes()
+            })
             .sum()
     }
 
@@ -136,7 +156,11 @@ impl ShardedTable {
     pub fn pair_counts(&self) -> Vec<usize> {
         self.shards
             .iter()
-            .map(|s| s.read().expect("shard lock poisoned").pair_count())
+            .map(|s| {
+                s.read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .pair_count()
+            })
             .collect()
     }
 
@@ -144,7 +168,12 @@ impl ShardedTable {
     pub fn to_table(&self) -> QueryHashTable {
         let mut records = Vec::new();
         for shard in &self.shards {
-            records.extend(shard.read().expect("shard lock poisoned").to_records());
+            records.extend(
+                shard
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .to_records(),
+            );
         }
         QueryHashTable::from_records(&records)
     }
@@ -159,7 +188,12 @@ mod tests {
         let mut table = QueryHashTable::new();
         for q in 0..queries {
             for r in 0..per_query {
-                table.upsert(q, 1_000 + q * 10 + r, 0.1 + r as f32 * 0.2, ConflictPolicy::Max);
+                table.upsert(
+                    q,
+                    1_000 + q * 10 + r,
+                    0.1 + r as f32 * 0.2,
+                    ConflictPolicy::Max,
+                );
             }
             if q % 3 == 0 {
                 table
@@ -179,7 +213,11 @@ mod tests {
             assert_eq!(sharded.pair_count(), table.pair_count());
             assert_eq!(sharded.entry_count(), table.entry_count());
             for q in 0..45 {
-                assert_eq!(sharded.lookup(q), table.lookup(q), "query {q}, {shards} shards");
+                assert_eq!(
+                    sharded.lookup(q),
+                    table.lookup(q),
+                    "query {q}, {shards} shards"
+                );
             }
         }
     }

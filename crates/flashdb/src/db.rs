@@ -62,6 +62,20 @@ pub enum DbError {
     Flash(FlashError),
     /// Stored bytes failed to decode.
     Corrupt(DecodeError),
+    /// A file's on-flash header disagrees with the database's in-memory
+    /// mirror — the header region was damaged or written by something
+    /// else.
+    CorruptHeader {
+        /// Index of the damaged file.
+        file: usize,
+        /// What check failed.
+        detail: String,
+    },
+    /// A record's stored bytes ended before its encoded fields did.
+    TruncatedRecord {
+        /// The record whose bytes were short.
+        result_hash: u64,
+    },
 }
 
 impl std::fmt::Display for DbError {
@@ -72,11 +86,28 @@ impl std::fmt::Display for DbError {
             }
             DbError::Flash(e) => write!(f, "flash error: {e}"),
             DbError::Corrupt(e) => write!(f, "corrupt record: {e}"),
+            DbError::CorruptHeader { file, detail } => {
+                write!(f, "corrupt header in database file {file}: {detail}")
+            }
+            DbError::TruncatedRecord { result_hash } => {
+                write!(f, "truncated record for hash {result_hash:#018x}")
+            }
         }
     }
 }
 
 impl std::error::Error for DbError {}
+
+impl From<DbError> for cloudlet_core::service::CloudletError {
+    /// Storage errors surface to the service layer as
+    /// [`CloudletError::Storage`](cloudlet_core::service::CloudletError::Storage)
+    /// text; this is the orphan-rule-legal home for the conversion.
+    fn from(e: DbError) -> Self {
+        cloudlet_core::service::CloudletError::Storage {
+            detail: e.to_string(),
+        }
+    }
+}
 
 impl From<FlashError> for DbError {
     fn from(e: FlashError) -> Self {
@@ -251,8 +282,11 @@ impl ResultDb {
     ///
     /// # Errors
     ///
-    /// [`DbError::NotFound`] when no record has this hash; flash or
-    /// decode errors if the store is inconsistent.
+    /// [`DbError::NotFound`] when no record has this hash;
+    /// [`DbError::CorruptHeader`] when the on-flash header preamble
+    /// disagrees with the in-memory mirror; [`DbError::TruncatedRecord`]
+    /// when the record's bytes end early; flash or decode errors
+    /// otherwise.
     pub fn get(
         &self,
         result_hash: u64,
@@ -268,6 +302,7 @@ impl ResultDb {
         let header = flash.read(&name, 0, state.header_bytes())?;
         time += header.time;
         time += self.config.header_parse_per_entry * state.index.len() as u64;
+        Self::check_preamble(file_idx, &header.data, state)?;
 
         let &(offset, len) = state
             .index
@@ -276,8 +311,38 @@ impl ResultDb {
 
         let record_read = flash.read(&name, u64::from(offset), u64::from(len))?;
         time += record_read.time;
-        let record = ResultRecord::decode(&mut record_read.data.as_slice())?;
+        let record = match ResultRecord::decode(&mut record_read.data.as_slice()) {
+            Ok(record) => record,
+            Err(DecodeError::Truncated) => return Err(DbError::TruncatedRecord { result_hash }),
+            Err(e) => return Err(DbError::Corrupt(e)),
+        };
         Ok((record, time))
+    }
+
+    /// Checks a freshly read header preamble against the in-memory
+    /// mirror `state`.
+    fn check_preamble(file_idx: usize, data: &[u8], state: &FileState) -> Result<(), DbError> {
+        let mut buf = data;
+        if buf.remaining() < HEADER_PREAMBLE_BYTES as usize {
+            return Err(DbError::CorruptHeader {
+                file: file_idx,
+                detail: format!("preamble truncated at {} bytes", buf.remaining()),
+            });
+        }
+        let capacity = buf.get_u32_le() as usize;
+        let count = buf.get_u32_le() as usize;
+        if capacity != state.capacity || count != state.index.len() {
+            return Err(DbError::CorruptHeader {
+                file: file_idx,
+                detail: format!(
+                    "preamble says capacity {capacity} / count {count}, \
+                     mirror has capacity {} / count {}",
+                    state.capacity,
+                    state.index.len()
+                ),
+            });
+        }
+        Ok(())
     }
 
     /// Retrieves several records (e.g. the two results of a hash-table
@@ -407,23 +472,35 @@ impl ResultDb {
     ///
     /// # Errors
     ///
-    /// Returns a flash or decode error when the store is inconsistent.
+    /// [`DbError::CorruptHeader`] when a header preamble or index entry
+    /// disagrees with the mirror; flash errors when a file cannot be
+    /// read.
     pub fn verify(&self, flash: &FlashStore) -> Result<(), DbError> {
         for (i, state) in self.files.iter().enumerate() {
             let name = Self::file_name(i);
             let header = flash.read(&name, 0, state.header_bytes())?;
-            let mut buf = header.data.as_slice();
-            let capacity = buf.get_u32_le() as usize;
-            let count = buf.get_u32_le() as usize;
-            if capacity != state.capacity || count != state.index.len() {
-                return Err(DbError::Corrupt(DecodeError::Truncated));
-            }
-            for _ in 0..count {
+            Self::check_preamble(i, &header.data, state)?;
+            let mut buf = &header.data[HEADER_PREAMBLE_BYTES as usize..];
+            for slot in 0..state.index.len() {
+                if buf.remaining() < HEADER_ENTRY_BYTES as usize {
+                    return Err(DbError::CorruptHeader {
+                        file: i,
+                        detail: format!("index entry {slot} truncated"),
+                    });
+                }
                 let hash = buf.get_u64_le();
                 let offset = buf.get_u32_le();
                 match state.index.get(&hash) {
                     Some(&(o, _)) if o == offset => {}
-                    _ => return Err(DbError::Corrupt(DecodeError::Truncated)),
+                    _ => {
+                        return Err(DbError::CorruptHeader {
+                            file: i,
+                            detail: format!(
+                                "index entry {slot} ({hash:#018x} @ {offset}) \
+                                 is not in the mirror"
+                            ),
+                        })
+                    }
                 }
             }
         }

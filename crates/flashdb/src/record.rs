@@ -97,12 +97,7 @@ impl ResultRecord {
     /// Returns [`DecodeError::Truncated`] when `buf` is too short and
     /// [`DecodeError::InvalidUtf8`] for corrupt text fields.
     pub fn decode(buf: &mut impl Buf) -> Result<ResultRecord, DecodeError> {
-        if buf.remaining() < 8 {
-            return Err(DecodeError::Truncated);
-        }
-        let result_hash = buf.get_u64_le();
-        let mut fields = Vec::with_capacity(3);
-        for _ in 0..3 {
+        fn field(buf: &mut impl Buf) -> Result<String, DecodeError> {
             if buf.remaining() < 2 {
                 return Err(DecodeError::Truncated);
             }
@@ -112,11 +107,15 @@ impl ResultRecord {
             }
             let mut bytes = vec![0u8; len];
             buf.copy_to_slice(&mut bytes);
-            fields.push(String::from_utf8(bytes).map_err(|_| DecodeError::InvalidUtf8)?);
+            String::from_utf8(bytes).map_err(|_| DecodeError::InvalidUtf8)
         }
-        let snippet = fields.pop().expect("three fields were read");
-        let display_url = fields.pop().expect("three fields were read");
-        let title = fields.pop().expect("three fields were read");
+        if buf.remaining() < 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let result_hash = buf.get_u64_le();
+        let title = field(buf)?;
+        let display_url = field(buf)?;
+        let snippet = field(buf)?;
         Ok(ResultRecord {
             result_hash,
             title,

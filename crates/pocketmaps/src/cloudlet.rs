@@ -124,6 +124,11 @@ impl PocketMaps {
         &self.grid
     }
 
+    /// Flash bytes the cloudlet is allowed to occupy.
+    pub fn flash_budget(&self) -> u64 {
+        self.flash_budget
+    }
+
     /// Statistics snapshot.
     pub fn stats(&self) -> MapsStats {
         self.stats

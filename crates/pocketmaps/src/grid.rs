@@ -50,6 +50,22 @@ pub struct TileId {
     pub y: i32,
 }
 
+impl TileId {
+    /// Packs the tile coordinate into a service-layer `u64` key:
+    /// `x` in the high 32 bits, `y` in the low 32 (two's complement).
+    pub fn to_key(self) -> u64 {
+        (u64::from(self.x as u32) << 32) | u64::from(self.y as u32)
+    }
+
+    /// Inverse of [`TileId::to_key`]; total — every `u64` names a tile.
+    pub fn from_key(key: u64) -> TileId {
+        TileId {
+            x: (key >> 32) as u32 as i32,
+            y: key as u32 as i32,
+        }
+    }
+}
+
 impl std::fmt::Display for TileId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "tile({},{})", self.x, self.y)

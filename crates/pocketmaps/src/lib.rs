@@ -42,6 +42,7 @@
 pub mod cloudlet;
 pub mod grid;
 pub mod movement;
+pub mod service;
 
 pub use cloudlet::{PocketMaps, PrefetchPolicy, ViewportRender};
 pub use grid::{Position, TileGrid, TileId};

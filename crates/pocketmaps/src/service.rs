@@ -1,0 +1,119 @@
+//! PocketMaps behind the unified [`CloudletService`] interface.
+//!
+//! A maps "request" is a viewport render centred on a tile. Keys are
+//! packed tile coordinates ([`TileId::to_key`]); every `u64` decodes to
+//! a tile on the unbounded plane, so `serve` never sees an unknown key.
+//! A render counts as a [`ServeKind::Hit`](cloudlet_core::service::ServeKind)
+//! only when the whole 3×3 viewport came from the cache — the same
+//! instant/non-instant split [`MapsStats`] tracks.
+
+use cloudlet_core::service::{CloudletError, CloudletService, ServeOutcome, ServeStats};
+use mobsim::time::{SimDuration, SimInstant};
+
+use crate::cloudlet::{MapsStats, PocketMaps};
+use crate::grid::TileId;
+
+impl PocketMaps {
+    /// Projects [`MapsStats`] onto the shared taxonomy: a serve is one
+    /// viewport render, a hit is an instant render, and radio bytes are
+    /// the tiles fetched on demand.
+    pub fn project_stats(stats: &MapsStats) -> ServeStats {
+        ServeStats {
+            serves: stats.renders,
+            hits: stats.instant_renders,
+            stale_hits: 0,
+            misses: stats.renders - stats.instant_renders,
+            skipped: 0,
+            radio_bytes: stats.radio_bytes,
+            busy: SimDuration::ZERO,
+        }
+    }
+}
+
+impl CloudletService for PocketMaps {
+    fn name(&self) -> &'static str {
+        "maps"
+    }
+
+    fn serve(&mut self, key: u64, _now: SimInstant) -> Result<ServeOutcome, CloudletError> {
+        let tile = TileId::from_key(key);
+        let center = self.grid().tile_center(tile);
+        let before = self.stats().radio_bytes;
+        let render = self.render_viewport(center);
+        Ok(if render.instant() {
+            ServeOutcome::hit()
+        } else {
+            ServeOutcome::miss(self.stats().radio_bytes - before)
+        })
+    }
+
+    fn service_stats(&self) -> ServeStats {
+        Self::project_stats(&self.stats())
+    }
+
+    fn cache_bytes(&self) -> u64 {
+        self.cached_bytes()
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.flash_budget()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{Position, TileGrid};
+    use cloudlet_core::service::ServeKind;
+
+    #[test]
+    fn tile_keys_round_trip() {
+        for tile in [
+            TileId { x: 0, y: 0 },
+            TileId { x: -1, y: 1 },
+            TileId {
+                x: i32::MAX,
+                y: i32::MIN,
+            },
+            TileId {
+                x: -12_345,
+                y: 67_890,
+            },
+        ] {
+            assert_eq!(TileId::from_key(tile.to_key()), tile);
+        }
+        assert_eq!(TileId::from_key(u64::MAX), TileId { x: -1, y: -1 });
+    }
+
+    #[test]
+    fn serve_renders_the_keyed_viewport() {
+        let grid = TileGrid::paper_default();
+        let mut maps = PocketMaps::new(grid, 10_000_000);
+        let home = Position::meters(1_000.0, 2_000.0);
+        maps.prefetch_region(home, 3_000.0);
+        let key = grid.tile_for(home).to_key();
+        let outcome = maps.serve(key, SimInstant::ZERO).expect("maps serve");
+        assert_eq!(outcome.kind, ServeKind::Hit, "prefetched region is local");
+        let far = TileId { x: 500, y: 500 }.to_key();
+        let outcome = maps.serve(far, SimInstant::ZERO).expect("maps serve");
+        assert_eq!(outcome.kind, ServeKind::Miss);
+        assert_eq!(outcome.radio_bytes, 9 * grid.tile_bytes, "3x3 cold fetch");
+    }
+
+    #[test]
+    fn stats_project_the_legacy_counters() {
+        let grid = TileGrid::paper_default();
+        let mut maps = PocketMaps::new(grid, 10_000_000);
+        for i in 0..8i32 {
+            maps.serve(TileId { x: i / 2, y: i }.to_key(), SimInstant::ZERO)
+                .expect("maps serve");
+        }
+        let legacy = maps.stats();
+        let stats = maps.service_stats();
+        assert_eq!(stats.serves, legacy.renders);
+        assert_eq!(stats.hits, legacy.instant_renders);
+        assert_eq!(stats.misses, legacy.renders - legacy.instant_renders);
+        assert_eq!(stats.radio_bytes, legacy.radio_bytes);
+        assert_eq!(maps.capacity_bytes(), 10_000_000);
+    }
+}

@@ -130,6 +130,46 @@ impl AdCloudlet {
     }
 }
 
+impl cloudlet_core::service::CloudletService for AdCloudlet {
+    fn name(&self) -> &'static str {
+        "ads"
+    }
+
+    /// Serves the ad slot for `key` as a standalone consultation — the
+    /// trait router has no search outcome to thread through, so the
+    /// cloudlet is consulted as it would be after a search hit. (The
+    /// search-miss skip path stays on [`AdCloudlet::serve`], which
+    /// callers that know the search outcome use directly.)
+    fn serve(
+        &mut self,
+        key: u64,
+        _now: mobsim::time::SimInstant,
+    ) -> Result<cloudlet_core::service::ServeOutcome, cloudlet_core::service::CloudletError> {
+        use cloudlet_core::service::ServeOutcome;
+        Ok(match AdCloudlet::serve(self, key, true) {
+            AdOutcome::Hit(_) => ServeOutcome::hit(),
+            AdOutcome::Miss => ServeOutcome::miss(0),
+            AdOutcome::Skipped => ServeOutcome::skipped(),
+        })
+    }
+
+    fn service_stats(&self) -> cloudlet_core::service::ServeStats {
+        cloudlet_core::service::ServeStats {
+            serves: self.hits + self.misses + self.skipped,
+            hits: self.hits,
+            stale_hits: 0,
+            misses: self.misses,
+            skipped: self.skipped,
+            radio_bytes: 0,
+            busy: mobsim::time::SimDuration::ZERO,
+        }
+    }
+
+    fn cache_bytes(&self) -> u64 {
+        (self.banner_bytes() + self.table.footprint_bytes()) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use cloudlet_core::cache::{CacheMode, PocketCache};
 use cloudlet_core::contentgen::CacheContents;
 use cloudlet_core::error::CoreError;
+use cloudlet_core::service::{CloudletError, CloudletService, ServeOutcome, ServeStats};
 use cloudlet_core::update::{apply_update, UpdateServer, UploadPayload};
 use flashdb::patch::{apply_patch, DbPatch, PatchReport};
 use flashdb::{DbError, ResultDb, ResultRecord};
@@ -129,6 +130,16 @@ impl From<DbError> for EngineError {
     }
 }
 
+impl From<EngineError> for cloudlet_core::service::CloudletError {
+    fn from(e: EngineError) -> Self {
+        use cloudlet_core::service::CloudletError;
+        match e {
+            EngineError::Core(e) => CloudletError::Core(e),
+            EngineError::Db(e) => e.into(),
+        }
+    }
+}
+
 /// The assembled PocketSearch system (Figure 6 over Figure 9's storage).
 #[derive(Debug, Clone)]
 pub struct PocketSearch {
@@ -136,6 +147,7 @@ pub struct PocketSearch {
     cache: PocketCache,
     db: ResultDb,
     device: Device,
+    serve_stats: ServeStats,
 }
 
 impl PocketSearch {
@@ -165,6 +177,7 @@ impl PocketSearch {
             cache,
             db,
             device,
+            serve_stats: ServeStats::default(),
         }
     }
 
@@ -286,6 +299,42 @@ impl PocketSearch {
     /// Total energy dissipated so far.
     pub fn energy(&self) -> Energy {
         self.device.total_energy()
+    }
+}
+
+impl CloudletService for PocketSearch {
+    fn name(&self) -> &'static str {
+        "search"
+    }
+
+    /// Serves a query hash through the full engine path and projects
+    /// the [`ServedQuery`] onto the shared taxonomy. Only serves routed
+    /// through this trait accumulate into [`CloudletService::
+    /// service_stats`]; direct [`PocketSearch::serve`] calls keep their
+    /// own [`ServiceReport`]s, unchanged.
+    fn serve(
+        &mut self,
+        key: u64,
+        _now: mobsim::time::SimInstant,
+    ) -> Result<ServeOutcome, CloudletError> {
+        let served = PocketSearch::serve(self, key);
+        let outcome = if served.hit {
+            ServeOutcome::hit()
+        } else {
+            let config = &self.config.device;
+            ServeOutcome::miss(config.request_bytes + config.response_bytes)
+        }
+        .with_service(served.report.total_time);
+        self.serve_stats.record(&outcome);
+        Ok(outcome)
+    }
+
+    fn service_stats(&self) -> ServeStats {
+        self.serve_stats
+    }
+
+    fn cache_bytes(&self) -> u64 {
+        self.cache.table().footprint_bytes() as u64
     }
 }
 

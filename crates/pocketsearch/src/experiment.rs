@@ -65,14 +65,14 @@ pub fn figure15_points(fetch_time: SimDuration) -> Vec<ServicePoint> {
             label: kind.to_string(),
             time: report.total_time,
             energy: report.energy,
+            // The hit path always costs time and energy, so these
+            // ratios exist; INFINITY keeps a degenerate model visible
+            // without panicking the study.
             speedup_vs_pocket: report
                 .total_time
                 .ratio(pocket.total_time)
-                .expect("hit path is non-zero"),
-            energy_ratio_vs_pocket: report
-                .energy
-                .ratio(pocket.energy)
-                .expect("hit energy is non-zero"),
+                .unwrap_or(f64::INFINITY),
+            energy_ratio_vs_pocket: report.energy.ratio(pocket.energy).unwrap_or(f64::INFINITY),
         });
     }
     points

@@ -1,91 +1,172 @@
-//! Sharded concurrent serving: one cache, many users at once.
+//! Heterogeneous concurrent serving: one router, many cloudlets.
 //!
 //! The paper's evaluation serves one user from one thread. A cloudlet
 //! front-end — an edge box hosting the community cache, or a simulator
 //! replaying a whole population — has to serve a stream of
-//! `(user, query)` events concurrently. [`ServeRouter`] does that by
-//! splitting the engine's state along its existing hash layouts:
+//! `(user, service, key)` events concurrently, and §7's device hosts
+//! *several* cloudlets at once. [`ServeRouter`] scales both axes:
 //!
-//! * the DRAM index becomes a [`ShardedTable`]: shard `s` of `S` owns
-//!   every query with `query_hash % S == s`, behind its own `RwLock`;
-//! * the flash result database keeps its `result_hash % n_files`
-//!   placement (Figure 13), and [`ServeRouter::files_for_shard`] assigns
-//!   file `i` to shard `i % S` so each worker touches a disjoint set of
-//!   database files;
-//! * serving never mutates the table (`PocketSearch::serve` only reads
-//!   it), so every worker serves its shard's events with the exact
-//!   hit/miss outcomes and simulated service times the sequential
-//!   engine would produce.
+//! * every serving lane is a `Box<dyn CloudletService + Send>` behind
+//!   its own lock, so search shards, web caches, map caches, and ad
+//!   caches ride the same router ([`ServeRouter::from_services`]);
+//! * lanes are grouped by service: event `(service, key)` routes to
+//!   lane `key % group_len` of group `service`, which for an
+//!   all-search router reproduces the `query_hash % S` placement of the
+//!   sharded DRAM index exactly;
+//! * [`SearchShard`] is the search cloudlet's lane: shards of one
+//!   [`ShardedTable`] over a shared flash database, serving with the
+//!   exact hit/miss outcomes and simulated service times the
+//!   sequential engine would produce ([`ServeRouter::from_engine`]
+//!   builds a router of `S` of them);
+//! * the §7 budget arbiter sees every lane through the trait's
+//!   capacity hooks ([`ServeRouter::budget_allocation`]).
 //!
-//! [`ServeRouter::serve_batch`] fans a batch out across one
-//! `crossbeam` scoped thread per shard and reports per-shard hit, miss,
-//! and busy-time counters. Aggregate counts are a pure function of the
-//! cache contents, so they are identical for any shard count; what
-//! sharding buys is the *makespan* — the busiest shard's summed service
-//! time — which is what bounds a concurrent fleet's throughput.
+//! [`ServeRouter::serve_batch`] fans a batch out across one `crossbeam`
+//! scoped thread per lane and reports per-lane counters. Aggregate
+//! counts are a pure function of each cloudlet's contents, so they are
+//! identical for any lane count; what fan-out buys is the *makespan* —
+//! the busiest lane's summed simulated service time — which is what
+//! bounds a concurrent fleet's throughput. All reported times are
+//! simulated (`mobsim::time`); the router never consults the host
+//! clock, so batch reports are bit-reproducible across machines.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex, PoisonError};
 
+use cloudlet_core::coordination::{CloudletBudgets, CloudletId};
+use cloudlet_core::service::{CloudletError, CloudletService, ServeKind, ServeOutcome, ServeStats};
 use cloudlet_core::shard::ShardedTable;
 use flashdb::ResultDb;
-use mobsim::time::SimDuration;
+use mobsim::time::{SimDuration, SimInstant};
 use mobsim::FlashStore;
 
 use crate::engine::PocketSearch;
 
-/// One serving request: a user issuing a query.
+/// One serving request: a user asking one service for one key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FleetEvent {
     /// The requesting user (stable identifier; used for accounting and
     /// future per-user state, not for routing).
     pub user: u64,
-    /// Stable hash of the query string; routes the event to shard
-    /// `query_hash % shard_count`.
-    pub query_hash: u64,
+    /// Which service group handles this event (0 for a single-service
+    /// router).
+    pub service: u32,
+    /// Service-defined key: a query hash for search and ads, a page
+    /// index for web, a packed tile coordinate for maps. Routes the
+    /// event to lane `key % group_len` within its group.
+    pub key: u64,
+    /// Simulated instant of the request, passed to
+    /// [`CloudletService::serve`] (freshness-aware cloudlets need it).
+    pub at: SimInstant,
+}
+
+impl FleetEvent {
+    /// An event for service group `service`.
+    pub fn new(user: u64, service: u32, key: u64, at: SimInstant) -> Self {
+        FleetEvent {
+            user,
+            service,
+            key,
+            at,
+        }
+    }
+
+    /// A search query event (service group 0, at the simulation epoch).
+    pub fn search(user: u64, query_hash: u64) -> Self {
+        FleetEvent::new(user, 0, query_hash, SimInstant::ZERO)
+    }
 }
 
 /// Outcome of serving a single event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FleetServed {
-    /// Whether the query was served from the cache.
-    pub hit: bool,
-    /// The shard that served it.
-    pub shard: usize,
-    /// Simulated device time to serve it (Table 4 phases).
-    pub service: SimDuration,
+    /// The service-layer outcome.
+    pub outcome: ServeOutcome,
+    /// The lane (global index across groups) that served it.
+    pub lane: usize,
 }
 
-/// Monotonic per-shard counters, updated lock-free by workers.
+impl FleetServed {
+    /// Whether the event was served from the cloudlet's local state.
+    pub fn hit(&self) -> bool {
+        self.outcome.kind == ServeKind::Hit
+    }
+
+    /// Simulated device time to serve it.
+    pub fn service(&self) -> SimDuration {
+        self.outcome.service
+    }
+}
+
+/// Monotonic per-lane counters, updated lock-free by workers.
 #[derive(Debug, Default)]
-struct ShardCounters {
+struct LaneCounters {
     events: AtomicU64,
     hits: AtomicU64,
+    stale_hits: AtomicU64,
     misses: AtomicU64,
+    skipped: AtomicU64,
+    errors: AtomicU64,
+    radio_bytes: AtomicU64,
     busy_micros: AtomicU64,
 }
 
-impl ShardCounters {
+impl LaneCounters {
+    fn record(&self, result: &Result<ServeOutcome, CloudletError>) {
+        self.events.fetch_add(1, Ordering::Relaxed);
+        match result {
+            Ok(outcome) => {
+                let bucket = match outcome.kind {
+                    ServeKind::Hit => &self.hits,
+                    ServeKind::StaleHit => &self.stale_hits,
+                    ServeKind::Miss => &self.misses,
+                    ServeKind::Skipped => &self.skipped,
+                };
+                bucket.fetch_add(1, Ordering::Relaxed);
+                self.radio_bytes
+                    .fetch_add(outcome.radio_bytes, Ordering::Relaxed);
+                self.busy_micros
+                    .fetch_add(outcome.service.as_micros(), Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     fn snapshot(&self) -> ShardReport {
         ShardReport {
             events: self.events.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
+            stale_hits: self.stale_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            skipped: self.skipped.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            radio_bytes: self.radio_bytes.load(Ordering::Relaxed),
             busy: SimDuration::from_micros(self.busy_micros.load(Ordering::Relaxed)),
         }
     }
 }
 
-/// One shard's serving totals.
+/// One lane's serving totals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ShardReport {
-    /// Events routed to this shard.
+    /// Events routed to this lane.
     pub events: u64,
-    /// Cache hits among them.
+    /// Local hits among them.
     pub hits: u64,
-    /// Cache misses among them.
+    /// Stale hits (served locally, freshness refetch charged).
+    pub stale_hits: u64,
+    /// Radio misses.
     pub misses: u64,
-    /// Summed simulated service time of this shard's events.
+    /// Declined consultations.
+    pub skipped: u64,
+    /// Events whose serve returned a typed error.
+    pub errors: u64,
+    /// Radio bytes across this lane's outcomes.
+    pub radio_bytes: u64,
+    /// Summed simulated service time of this lane's events.
     pub busy: SimDuration,
 }
 
@@ -94,20 +175,22 @@ impl ShardReport {
         ShardReport {
             events: self.events - earlier.events,
             hits: self.hits - earlier.hits,
+            stale_hits: self.stale_hits - earlier.stale_hits,
             misses: self.misses - earlier.misses,
+            skipped: self.skipped - earlier.skipped,
+            errors: self.errors - earlier.errors,
+            radio_bytes: self.radio_bytes - earlier.radio_bytes,
             busy: self.busy.saturating_sub(earlier.busy),
         }
     }
 }
 
-/// Result of a [`ServeRouter::serve_batch`] run.
-#[derive(Debug, Clone, PartialEq)]
+/// Result of a [`ServeRouter::serve_batch`] run. Every number is in
+/// simulated time or counts — nothing here depends on the host machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FleetReport {
-    /// Per-shard totals for this batch, indexed by shard.
+    /// Per-lane totals for this batch, indexed by global lane index.
     pub shards: Vec<ShardReport>,
-    /// Host wall-clock time the batch took (hardware-dependent; the
-    /// simulated numbers below are the machine-independent signal).
-    pub wall: Duration,
 }
 
 impl FleetReport {
@@ -116,35 +199,55 @@ impl FleetReport {
         self.shards.iter().map(|s| s.events).sum()
     }
 
-    /// Cache hits across shards.
+    /// Local hits across lanes.
     pub fn hits(&self) -> u64 {
         self.shards.iter().map(|s| s.hits).sum()
     }
 
-    /// Cache misses across shards.
+    /// Stale hits across lanes.
+    pub fn stale_hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.stale_hits).sum()
+    }
+
+    /// Radio misses across lanes.
     pub fn misses(&self) -> u64 {
         self.shards.iter().map(|s| s.misses).sum()
     }
 
-    /// Aggregate hit ratio.
+    /// Declined consultations across lanes.
+    pub fn skipped(&self) -> u64 {
+        self.shards.iter().map(|s| s.skipped).sum()
+    }
+
+    /// Typed serve errors across lanes.
+    pub fn errors(&self) -> u64 {
+        self.shards.iter().map(|s| s.errors).sum()
+    }
+
+    /// Radio bytes across lanes.
+    pub fn radio_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.radio_bytes).sum()
+    }
+
+    /// Aggregate pure-hit ratio over attempted events (skips and
+    /// errors excluded from the denominator).
     pub fn hit_rate(&self) -> f64 {
-        let events = self.events();
-        if events == 0 {
+        let attempted = self.events() - self.skipped() - self.errors();
+        if attempted == 0 {
             0.0
         } else {
-            self.hits() as f64 / events as f64
+            self.hits() as f64 / attempted as f64
         }
     }
 
-    /// Summed simulated service time across all shards — what one
+    /// Summed simulated service time across all lanes — what one
     /// serving lane would take to drain the batch alone.
     pub fn total_busy(&self) -> SimDuration {
         self.shards.iter().map(|s| s.busy).sum()
     }
 
-    /// The busiest shard's simulated service time. With one lane per
-    /// shard this is the simulated time until the whole batch is
-    /// drained.
+    /// The busiest lane's simulated service time. With one worker per
+    /// lane this is the simulated time until the whole batch drains.
     pub fn makespan(&self) -> SimDuration {
         self.shards
             .iter()
@@ -153,8 +256,8 @@ impl FleetReport {
             .unwrap_or(SimDuration::ZERO)
     }
 
-    /// Serving throughput in queries per simulated second, at one
-    /// serving lane per shard: `events / makespan`.
+    /// Serving throughput in events per simulated second, at one
+    /// worker per lane: `events / makespan`.
     pub fn throughput_qps(&self) -> f64 {
         let makespan = self.makespan().as_secs_f64();
         if makespan == 0.0 {
@@ -166,40 +269,44 @@ impl FleetReport {
 }
 
 /// Fixed serving-time components, taken from the engine's device model
-/// so router timings match `PocketSearch::serve` (Table 4): lookup,
-/// render + misc, and the warm-radio miss exchange.
+/// so [`SearchShard`] timings match `PocketSearch::serve` (Table 4):
+/// lookup, render + misc, the warm-radio miss exchange, and the bytes
+/// that exchange moves.
 #[derive(Debug, Clone, Copy)]
 struct ServeCosts {
     lookup: SimDuration,
     render_and_misc: SimDuration,
     miss_total: SimDuration,
+    miss_bytes: u64,
 }
 
-/// A concurrent serving front-end over a [`PocketSearch`] engine's
-/// state: sharded DRAM index, shared flash database, per-shard
-/// counters.
+/// One shard of the search cloudlet as a [`CloudletService`] lane: a
+/// slice of the sharded DRAM index plus the shared flash database.
 ///
-/// The router is `Sync`; [`ServeRouter::serve_one`] may be called from
-/// any number of threads. [`ServeRouter::serve_batch`] partitions a
-/// batch by owning shard and drains each shard on its own scoped
-/// thread.
+/// Serving reproduces `PocketSearch::serve` semantics: a hit needs both
+/// an index entry and its top-two records in the database, and an index
+/// entry whose record is missing degrades into a radio miss.
 #[derive(Debug)]
-pub struct ServeRouter {
-    table: ShardedTable,
+pub struct SearchShard {
+    table: Arc<ShardedTable>,
+    shard: usize,
     db: ResultDb,
     flash: FlashStore,
     costs: ServeCosts,
-    counters: Vec<ShardCounters>,
+    stats: ServeStats,
 }
 
-impl ServeRouter {
-    /// Builds a router over `n_shards` shards from an engine's cache
-    /// table, database, and device timing model.
+impl SearchShard {
+    /// Builds the sharded index and one [`SearchShard`] per shard from
+    /// an engine's cache table, database, and device timing model.
     ///
     /// # Panics
     ///
     /// Panics when `n_shards` is zero.
-    pub fn from_engine(engine: &PocketSearch, n_shards: usize) -> Self {
+    pub fn fleet_of(
+        engine: &PocketSearch,
+        n_shards: usize,
+    ) -> (Arc<ShardedTable>, Vec<SearchShard>) {
         let device = engine.device();
         let config = device.config();
         let browser = device.browser();
@@ -213,114 +320,322 @@ impl ServeRouter {
             lookup: config.lookup_time,
             render_and_misc,
             miss_total: config.lookup_time + exchange + render_and_misc,
+            miss_bytes: config.request_bytes + config.response_bytes,
         };
+        let table = Arc::new(ShardedTable::from_table(engine.cache().table(), n_shards));
+        let shards = (0..n_shards)
+            .map(|shard| SearchShard {
+                table: Arc::clone(&table),
+                shard,
+                db: engine.db().clone(),
+                flash: device.flash().clone(),
+                costs,
+                stats: ServeStats::default(),
+            })
+            .collect();
+        (table, shards)
+    }
+
+    /// The shard of the DRAM index this lane owns.
+    pub fn shard_index(&self) -> usize {
+        self.shard
+    }
+}
+
+impl CloudletService for SearchShard {
+    fn name(&self) -> &'static str {
+        "search"
+    }
+
+    fn serve(&mut self, key: u64, _now: SimInstant) -> Result<ServeOutcome, CloudletError> {
+        let top: Option<Vec<u64>> = self
+            .table
+            .lookup(key)
+            .map(|results| results.iter().take(2).map(|r| r.result_hash).collect());
+        let outcome = match top {
+            Some(top) => match self.db.get_many(top, &self.flash) {
+                Ok((_, fetch_time)) => ServeOutcome::hit()
+                    .with_service(self.costs.lookup + fetch_time + self.costs.render_and_misc),
+                Err(_) => {
+                    ServeOutcome::miss(self.costs.miss_bytes).with_service(self.costs.miss_total)
+                }
+            },
+            None => ServeOutcome::miss(self.costs.miss_bytes).with_service(self.costs.miss_total),
+        };
+        self.stats.record(&outcome);
+        Ok(outcome)
+    }
+
+    fn service_stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    fn cache_bytes(&self) -> u64 {
+        self.table.read(self.shard).footprint_bytes() as u64
+    }
+}
+
+/// One serving lane: a cloudlet behind its own lock, with lock-free
+/// counters beside it.
+struct Lane {
+    service: Mutex<Box<dyn CloudletService + Send>>,
+    counters: LaneCounters,
+}
+
+impl Lane {
+    fn new(service: Box<dyn CloudletService + Send>) -> Self {
+        Lane {
+            service: Mutex::new(service),
+            counters: LaneCounters::default(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Lane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lane")
+            .field("counters", &self.counters)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A concurrent serving front-end over a set of [`CloudletService`]
+/// lanes, grouped by service.
+///
+/// The router is `Sync`; [`ServeRouter::serve_one`] may be called from
+/// any number of threads (each lane serializes behind its own lock).
+/// [`ServeRouter::serve_batch`] partitions a batch by owning lane and
+/// drains each lane on its own scoped thread.
+#[derive(Debug)]
+pub struct ServeRouter {
+    /// `groups[service]` lists the global lane indices of that service.
+    groups: Vec<Vec<usize>>,
+    lanes: Vec<Lane>,
+    /// The sharded DRAM index, when this is a search router.
+    search_table: Option<Arc<ShardedTable>>,
+    /// The flash database layout, when this is a search router.
+    search_db: Option<ResultDb>,
+}
+
+impl ServeRouter {
+    /// Builds an all-search router: service group 0 holds `n_shards`
+    /// [`SearchShard`] lanes over the engine's cache table, database,
+    /// and device timing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_shards` is zero.
+    pub fn from_engine(engine: &PocketSearch, n_shards: usize) -> Self {
+        let (table, shards) = SearchShard::fleet_of(engine, n_shards);
+        let lanes: Vec<Lane> = shards
+            .into_iter()
+            .map(|s| Lane::new(Box::new(s) as Box<dyn CloudletService + Send>))
+            .collect();
         ServeRouter {
-            table: ShardedTable::from_table(engine.cache().table(), n_shards),
-            db: engine.db().clone(),
-            flash: device.flash().clone(),
-            costs,
-            counters: (0..n_shards).map(|_| ShardCounters::default()).collect(),
+            groups: vec![(0..lanes.len()).collect()],
+            lanes,
+            search_table: Some(table),
+            search_db: Some(engine.db().clone()),
         }
     }
 
-    /// Number of shards.
+    /// Builds a heterogeneous router: `groups[i]` becomes service group
+    /// `i`, each boxed cloudlet one lane. Lanes are numbered globally
+    /// in group order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any group is empty (a service with no lanes could
+    /// never route).
+    pub fn from_services(groups: Vec<Vec<Box<dyn CloudletService + Send>>>) -> Self {
+        let mut lane_groups = Vec::with_capacity(groups.len());
+        let mut lanes = Vec::new();
+        for group in groups {
+            assert!(!group.is_empty(), "every service group needs a lane");
+            let mut indices = Vec::with_capacity(group.len());
+            for service in group {
+                indices.push(lanes.len());
+                lanes.push(Lane::new(service));
+            }
+            lane_groups.push(indices);
+        }
+        ServeRouter {
+            groups: lane_groups,
+            lanes,
+            search_table: None,
+            search_db: None,
+        }
+    }
+
+    /// Total lane count across all groups.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Number of service groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of lanes in the (single) search group of an all-search
+    /// router; kept for symmetry with the original sharded router.
     pub fn shard_count(&self) -> usize {
-        self.table.shard_count()
+        self.lanes.len()
     }
 
-    /// The sharded DRAM index.
-    pub fn table(&self) -> &ShardedTable {
-        &self.table
+    /// The sharded DRAM index of an all-search router built with
+    /// [`ServeRouter::from_engine`]; `None` for heterogeneous routers.
+    pub fn table(&self) -> Option<&ShardedTable> {
+        self.search_table.as_deref()
     }
 
-    /// The database files shard `shard` owns: every file `i` with
+    /// The stable name of the cloudlet behind lane `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is out of range.
+    pub fn lane_name(&self, lane: usize) -> &'static str {
+        self.lanes[lane]
+            .service
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .name()
+    }
+
+    /// The database files search lane `shard` owns: every file `i` with
     /// `i % shard_count == shard`, consistent with the database's
-    /// `result_hash % n_files` placement.
+    /// `result_hash % n_files` placement. Empty for routers without a
+    /// search database.
     pub fn files_for_shard(&self, shard: usize) -> Vec<String> {
-        (0..self.db.config().n_files)
+        let Some(db) = &self.search_db else {
+            return Vec::new();
+        };
+        (0..db.config().n_files)
             .filter(|i| i % self.shard_count() == shard)
-            .map(|i| self.db.file_name_of(i))
+            .map(|i| db.file_name_of(i))
             .collect()
     }
 
-    /// Serves one event, updating its shard's counters. Thread-safe;
-    /// reproduces `PocketSearch::serve` semantics: a hit needs both an
-    /// index entry and its top-two records in the database, and an index
-    /// entry whose record is missing degrades into a radio miss.
-    pub fn serve_one(&self, event: FleetEvent) -> FleetServed {
-        let shard = self.table.shard_of(event.query_hash);
-        let top: Option<Vec<u64>> = self
-            .table
-            .read(shard)
-            .lookup(event.query_hash)
-            .map(|results| results.iter().take(2).map(|r| r.result_hash).collect());
-        let (hit, service) = match top {
-            Some(top) => match self.db.get_many(top, &self.flash) {
-                Ok((_, fetch_time)) => (
-                    true,
-                    self.costs.lookup + fetch_time + self.costs.render_and_misc,
-                ),
-                Err(_) => (false, self.costs.miss_total),
-            },
-            None => (false, self.costs.miss_total),
-        };
-        let counters = &self.counters[shard];
-        counters.events.fetch_add(1, Ordering::Relaxed);
-        if hit {
-            counters.hits.fetch_add(1, Ordering::Relaxed);
-        } else {
-            counters.misses.fetch_add(1, Ordering::Relaxed);
-        }
-        counters
-            .busy_micros
-            .fetch_add(service.as_micros(), Ordering::Relaxed);
-        FleetServed {
-            hit,
-            shard,
-            service,
-        }
+    /// The global lane index an event routes to.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudletError::UnknownService`] when the event names a service
+    /// group the router does not host.
+    pub fn lane_of(&self, event: &FleetEvent) -> Result<usize, CloudletError> {
+        let group = self
+            .groups
+            .get(event.service as usize)
+            .filter(|g| !g.is_empty())
+            .ok_or(CloudletError::UnknownService {
+                service: event.service,
+            })?;
+        Ok(group[(event.key % group.len() as u64) as usize])
     }
 
-    /// Cumulative per-shard totals since the router was built.
+    /// Serves one event on its owning lane, updating that lane's
+    /// counters. Thread-safe.
+    ///
+    /// # Errors
+    ///
+    /// Routing errors ([`CloudletError::UnknownService`]) and any typed
+    /// error the cloudlet's serve path returns; cloudlet errors are
+    /// also tallied in the lane's `errors` counter.
+    pub fn serve_one(&self, event: FleetEvent) -> Result<FleetServed, CloudletError> {
+        let lane_idx = self.lane_of(&event)?;
+        let lane = &self.lanes[lane_idx];
+        let result = {
+            let mut service = lane.service.lock().unwrap_or_else(PoisonError::into_inner);
+            service.serve(event.key, event.at)
+        };
+        lane.counters.record(&result);
+        result.map(|outcome| FleetServed {
+            outcome,
+            lane: lane_idx,
+        })
+    }
+
+    /// Cumulative per-lane totals since the router was built.
     pub fn snapshot(&self) -> Vec<ShardReport> {
-        self.counters.iter().map(ShardCounters::snapshot).collect()
+        self.lanes.iter().map(|l| l.counters.snapshot()).collect()
+    }
+
+    /// Per-lane serve-path statistics straight from each cloudlet.
+    pub fn lane_stats(&self) -> Vec<ServeStats> {
+        self.lanes
+            .iter()
+            .map(|l| {
+                l.service
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .service_stats()
+            })
+            .collect()
+    }
+
+    /// Arbitrates `total_bytes` of shared index budget across the
+    /// lanes with the §7 water-filling arbiter: each lane demands its
+    /// [`CloudletService::capacity_bytes`] at equal priority, keyed by
+    /// its global lane index.
+    pub fn budget_allocation(&self, total_bytes: usize) -> BTreeMap<CloudletId, usize> {
+        let mut budgets = CloudletBudgets::new(total_bytes);
+        for (i, lane) in self.lanes.iter().enumerate() {
+            let service = lane.service.lock().unwrap_or_else(PoisonError::into_inner);
+            budgets.register(service.budget_demand(CloudletId(i as u32), 1.0));
+        }
+        budgets.allocate()
     }
 
     /// Serves a batch concurrently: events are partitioned by owning
-    /// shard and each non-empty shard is drained by its own scoped
-    /// thread. Returns this batch's per-shard totals (counters advanced
+    /// lane and each non-empty lane is drained by its own scoped
+    /// thread. Returns this batch's per-lane totals (counters advanced
     /// by concurrent `serve_one` callers are excluded only if no such
     /// callers run during the batch; don't mix the two mid-batch).
-    pub fn serve_batch(&self, events: &[FleetEvent]) -> FleetReport {
+    ///
+    /// Cloudlet-level serve errors do *not* fail the batch — they are
+    /// tallied per lane in [`ShardReport::errors`] and the remaining
+    /// events proceed.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudletError::UnknownService`] when any event names a service
+    /// group the router does not host (nothing is served);
+    /// [`CloudletError::WorkerFailed`] if a lane worker dies mid-batch.
+    pub fn serve_batch(&self, events: &[FleetEvent]) -> Result<FleetReport, CloudletError> {
         let before = self.snapshot();
-        let start = Instant::now();
 
-        let mut per_shard: Vec<Vec<FleetEvent>> = (0..self.shard_count()).map(|_| Vec::new()).collect();
+        let mut per_lane: Vec<Vec<FleetEvent>> =
+            (0..self.lanes.len()).map(|_| Vec::new()).collect();
         for &event in events {
-            per_shard[self.table.shard_of(event.query_hash)].push(event);
+            per_lane[self.lane_of(&event)?].push(event);
         }
-        crossbeam::thread::scope(|scope| {
-            for lane in &per_shard {
+        let scope_result = crossbeam::thread::scope(|scope| {
+            for lane in &per_lane {
                 if lane.is_empty() {
                     continue;
                 }
                 scope.spawn(move |_| {
                     for &event in lane {
-                        self.serve_one(event);
+                        // Typed errors are tallied in the lane counters;
+                        // the worker keeps draining.
+                        let _ = self.serve_one(event);
                     }
                 });
             }
-        })
-        .expect("fleet worker panicked");
+        });
+        if scope_result.is_err() {
+            return Err(CloudletError::WorkerFailed {
+                detail: "a lane worker panicked mid-batch".into(),
+            });
+        }
 
-        let wall = start.elapsed();
         let shards = self
             .snapshot()
             .into_iter()
             .zip(before)
             .map(|(now, then)| now.minus(then))
             .collect();
-        FleetReport { shards, wall }
+        Ok(FleetReport { shards })
     }
 }
 
@@ -352,14 +667,14 @@ mod tests {
 
     fn batch(cached: &[u64], n: usize) -> Vec<FleetEvent> {
         (0..n)
-            .map(|i| FleetEvent {
-                user: (i % 7) as u64,
-                // Mix cached queries with guaranteed misses.
-                query_hash: if i % 3 == 0 {
+            .map(|i| {
+                let key = if i % 3 == 0 {
+                    // Mix cached queries with guaranteed misses.
                     u64::MAX - i as u64
                 } else {
                     cached[i % cached.len()]
-                },
+                };
+                FleetEvent::search((i % 7) as u64, key)
             })
             .collect()
     }
@@ -369,29 +684,38 @@ mod tests {
         let (engine, cached) = test_engine();
         let events = batch(&cached, 240);
         let router = ServeRouter::from_engine(&engine, 8);
-        let report = router.serve_batch(&events);
+        let report = router.serve_batch(&events).expect("search batch");
 
         let mut sequential = engine.clone();
         let seq_hits = events
             .iter()
-            .filter(|e| sequential.serve(e.query_hash).hit)
+            .filter(|e| sequential.serve(e.key).hit)
             .count() as u64;
 
         assert_eq!(report.events(), events.len() as u64);
         assert_eq!(report.hits(), seq_hits);
         assert_eq!(report.misses(), events.len() as u64 - seq_hits);
+        assert_eq!(report.errors(), 0);
     }
 
     #[test]
     fn hit_ratio_is_invariant_across_shard_counts() {
         let (engine, cached) = test_engine();
         let events = batch(&cached, 300);
-        let baseline = ServeRouter::from_engine(&engine, 1).serve_batch(&events);
+        let baseline = ServeRouter::from_engine(&engine, 1)
+            .serve_batch(&events)
+            .expect("1-shard batch");
         for shards in [2, 4, 16] {
-            let report = ServeRouter::from_engine(&engine, shards).serve_batch(&events);
+            let report = ServeRouter::from_engine(&engine, shards)
+                .serve_batch(&events)
+                .expect("batch");
             assert_eq!(report.hits(), baseline.hits(), "{shards} shards");
             assert_eq!(report.misses(), baseline.misses(), "{shards} shards");
-            assert_eq!(report.total_busy(), baseline.total_busy(), "{shards} shards");
+            assert_eq!(
+                report.total_busy(),
+                baseline.total_busy(),
+                "{shards} shards"
+            );
         }
     }
 
@@ -399,8 +723,12 @@ mod tests {
     fn sharding_shrinks_makespan() {
         let (engine, cached) = test_engine();
         let events = batch(&cached, 400);
-        let one = ServeRouter::from_engine(&engine, 1).serve_batch(&events);
-        let sixteen = ServeRouter::from_engine(&engine, 16).serve_batch(&events);
+        let one = ServeRouter::from_engine(&engine, 1)
+            .serve_batch(&events)
+            .expect("batch");
+        let sixteen = ServeRouter::from_engine(&engine, 16)
+            .serve_batch(&events)
+            .expect("batch");
         assert!(sixteen.makespan() < one.makespan());
         assert_eq!(one.makespan(), one.total_busy());
     }
@@ -420,15 +748,65 @@ mod tests {
     }
 
     #[test]
-    fn served_outcome_reports_owning_shard() {
+    fn served_outcome_reports_owning_lane() {
         let (engine, cached) = test_engine();
         let router = ServeRouter::from_engine(&engine, 4);
-        let served = router.serve_one(FleetEvent {
-            user: 1,
-            query_hash: cached[0],
-        });
-        assert!(served.hit);
-        assert_eq!(served.shard, (cached[0] % 4) as usize);
-        assert!(served.service > SimDuration::ZERO);
+        let served = router
+            .serve_one(FleetEvent::search(1, cached[0]))
+            .expect("search serve");
+        assert!(served.hit());
+        assert_eq!(served.lane, (cached[0] % 4) as usize);
+        assert!(served.service() > SimDuration::ZERO);
+        assert_eq!(router.lane_name(served.lane), "search");
+    }
+
+    #[test]
+    fn unknown_service_group_is_a_typed_error() {
+        let (engine, cached) = test_engine();
+        let router = ServeRouter::from_engine(&engine, 2);
+        let bad = FleetEvent::new(0, 9, cached[0], SimInstant::ZERO);
+        assert_eq!(
+            router.serve_one(bad),
+            Err(CloudletError::UnknownService { service: 9 })
+        );
+        assert_eq!(
+            router.serve_batch(&[bad]),
+            Err(CloudletError::UnknownService { service: 9 })
+        );
+    }
+
+    #[test]
+    fn budget_allocation_sees_every_lane() {
+        let (engine, _) = test_engine();
+        let router = ServeRouter::from_engine(&engine, 4);
+        let total: usize = 1 << 20;
+        let granted = router.budget_allocation(total);
+        assert_eq!(granted.len(), 4);
+        let sum: usize = granted.values().sum();
+        assert!(sum <= total);
+        // Demands equal the per-shard index footprints, which the
+        // arbiter never over-grants.
+        for (id, bytes) in &granted {
+            let lane = id.0 as usize;
+            let demand = router
+                .table()
+                .expect("search router")
+                .read(lane)
+                .footprint_bytes();
+            assert!(*bytes <= demand, "lane {lane} over-granted");
+        }
+    }
+
+    #[test]
+    fn search_router_matches_trait_level_stats() {
+        let (engine, cached) = test_engine();
+        let router = ServeRouter::from_engine(&engine, 3);
+        let events = batch(&cached, 120);
+        let report = router.serve_batch(&events).expect("batch");
+        let lane_stats = router.lane_stats();
+        let hits: u64 = lane_stats.iter().map(|s| s.hits).sum();
+        let serves: u64 = lane_stats.iter().map(|s| s.serves).sum();
+        assert_eq!(hits, report.hits());
+        assert_eq!(serves, report.events());
     }
 }

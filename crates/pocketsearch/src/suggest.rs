@@ -124,8 +124,7 @@ impl SuggestIndex {
             .collect();
         suggestions.sort_by(|a, b| {
             b.score
-                .partial_cmp(&a.score)
-                .expect("scores are finite")
+                .total_cmp(&a.score)
                 .then_with(|| a.query.cmp(&b.query))
         });
         suggestions.truncate(k);
@@ -212,25 +211,35 @@ mod tests {
     }
 
     #[test]
-    fn keystroke_lookups_are_fast_at_cache_scale() {
+    fn keystroke_work_is_bounded_at_cache_scale() {
         // A few thousand cached queries (the paper's cache size): every
-        // keystroke must resolve far inside the ~378 ms hit budget.
+        // keystroke must resolve far inside the ~378 ms hit budget. The
+        // work per keystroke is two binary searches plus one cache
+        // lookup per prefix match, so we pin the *candidate set* each
+        // keystroke scans — a machine-independent bound, unlike the
+        // wall-clock timing this test once asserted.
         let queries: Vec<String> = (0..4_000).map(|i| format!("query {i:05} text")).collect();
         let mut cache = PocketCache::new(CacheMode::Full, RankingPolicy::default());
         for q in &queries {
             cache.install_pair(stable_hash64(q.as_bytes()), 7, 0.5);
         }
         let index = SuggestIndex::build(queries.iter().cloned(), &cache);
-        let started = std::time::Instant::now();
         let mut total = 0;
-        for prefix in ["q", "qu", "query 0", "query 01", "query 012"] {
+        // Query ids are zero-padded to five digits, so each extra prefix
+        // digit cuts the candidate set by 10x.
+        for (prefix, max_candidates) in [
+            ("query 01", 1_000),
+            ("query 012", 100),
+            ("query 0123", 10),
+            ("query 01234", 1),
+        ] {
+            let candidates = index.prefix_matches(prefix).len();
+            assert!(
+                candidates <= max_candidates,
+                "prefix {prefix:?} scans {candidates} candidates"
+            );
             total += index.complete(prefix, &cache, 8).len();
         }
         assert!(total > 0);
-        assert!(
-            started.elapsed().as_millis() < 200,
-            "five keystrokes took {:?}",
-            started.elapsed()
-        );
     }
 }

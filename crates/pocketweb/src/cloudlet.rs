@@ -125,6 +125,11 @@ impl PocketWeb {
         self.policy
     }
 
+    /// Flash bytes the cloudlet is allowed to occupy.
+    pub fn flash_budget(&self) -> u64 {
+        self.flash_budget
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> WebStats {
         self.stats
@@ -231,12 +236,16 @@ impl PocketWeb {
 
     fn enforce_budget(&mut self) {
         while self.cached_bytes() > self.flash_budget {
-            let victim = self
+            // Over budget implies the cache is non-empty, but bail rather
+            // than panic if that invariant ever breaks.
+            let Some(victim) = self
                 .cached
                 .iter()
                 .min_by_key(|(_, c)| c.last_access)
                 .map(|(&p, _)| p)
-                .expect("over budget implies non-empty");
+            else {
+                break;
+            };
             self.cached.remove(&victim);
             self.realtime_set.remove(&victim);
         }

@@ -49,8 +49,10 @@
 
 pub mod cloudlet;
 pub mod policy;
+pub mod service;
 pub mod world;
 
 pub use cloudlet::{PocketWeb, VisitOutcome};
 pub use policy::{replay_visits, PolicyReport, RefreshPolicy};
+pub use service::WebService;
 pub use world::{PageId, PageSpec, WebWorld, WorldConfig};

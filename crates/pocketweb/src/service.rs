@@ -1,0 +1,175 @@
+//! PocketWeb behind the unified [`CloudletService`] interface.
+//!
+//! [`PocketWeb::visit`] needs the [`WebWorld`] alongside the cloudlet
+//! (pages' live versions advance with simulated time), so the service
+//! impl lives on [`WebService`], a thin owner of both. Keys are page
+//! indices (`PageId.0 as u64`); a key beyond the world's page count is
+//! a [`CloudletError::UnknownKey`], not a panic.
+
+use cloudlet_core::service::{CloudletError, CloudletService, ServeOutcome, ServeStats};
+use mobsim::time::SimInstant;
+
+use crate::cloudlet::{PocketWeb, VisitOutcome, WebStats};
+use crate::world::{PageId, WebWorld};
+
+/// A [`PocketWeb`] cloudlet paired with its simulated web, servable
+/// through [`CloudletService`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WebService {
+    world: WebWorld,
+    web: PocketWeb,
+}
+
+impl WebService {
+    /// Wraps a cloudlet and the world it browses.
+    pub fn new(world: WebWorld, web: PocketWeb) -> Self {
+        WebService { world, web }
+    }
+
+    /// The simulated web.
+    pub fn world(&self) -> &WebWorld {
+        &self.world
+    }
+
+    /// The wrapped cloudlet.
+    pub fn web(&self) -> &PocketWeb {
+        &self.web
+    }
+
+    /// Mutable access for maintenance passes (prefetch, overnight
+    /// refresh) that are not part of the serve path.
+    pub fn web_mut(&mut self) -> &mut PocketWeb {
+        &mut self.web
+    }
+
+    /// The service-layer key of a page.
+    pub fn key_of(page: PageId) -> u64 {
+        u64::from(page.0)
+    }
+
+    /// Projects [`WebStats`] onto the shared taxonomy: instant hits are
+    /// hits, stale refetches are stale hits, and radio bytes include
+    /// the real-time push stream.
+    pub fn project_stats(stats: &WebStats) -> ServeStats {
+        ServeStats {
+            serves: stats.visits(),
+            hits: stats.instant_hits,
+            stale_hits: stats.stale_refetches,
+            misses: stats.misses,
+            skipped: 0,
+            radio_bytes: stats.radio_bytes(),
+            busy: mobsim::time::SimDuration::ZERO,
+        }
+    }
+}
+
+impl CloudletService for WebService {
+    fn name(&self) -> &'static str {
+        "web"
+    }
+
+    fn serve(&mut self, key: u64, now: SimInstant) -> Result<ServeOutcome, CloudletError> {
+        let page = u32::try_from(key)
+            .ok()
+            .filter(|&p| (p as usize) < self.world.pages().len())
+            .map(PageId)
+            .ok_or(CloudletError::UnknownKey { key })?;
+        Ok(match self.web.visit(&self.world, page, now) {
+            VisitOutcome::InstantHit => ServeOutcome::hit(),
+            VisitOutcome::StaleRefetch { bytes } => ServeOutcome::stale_hit(bytes),
+            VisitOutcome::Miss { bytes } => ServeOutcome::miss(bytes),
+        })
+    }
+
+    /// Derived from the cloudlet's own counters, so maintenance passes
+    /// (real-time pushes) show up in `radio_bytes` exactly as
+    /// [`WebStats::radio_bytes`] reports them.
+    fn service_stats(&self) -> ServeStats {
+        Self::project_stats(&self.web.stats())
+    }
+
+    fn cache_bytes(&self) -> u64 {
+        self.web.cached_bytes()
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.web.flash_budget()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::RefreshPolicy;
+    use crate::world::WorldConfig;
+    use cloudlet_core::service::ServeKind;
+    use mobsim::time::SimDuration;
+
+    fn service() -> WebService {
+        let world = WebWorld::generate(WorldConfig::test_scale(), 4);
+        let web = PocketWeb::new(&world, RefreshPolicy::OvernightOnly);
+        WebService::new(world, web)
+    }
+
+    #[test]
+    fn serve_mirrors_visit_outcomes() {
+        let mut svc = service();
+        let t0 = SimInstant::ZERO;
+        let key = WebService::key_of(svc.world().pages()[0].id);
+        let first = svc.serve(key, t0).expect("page key is valid");
+        assert_eq!(first.kind, ServeKind::Miss);
+        assert!(first.radio_bytes > 0);
+        let again = svc.serve(key, t0).expect("page key is valid");
+        assert_eq!(again.kind, ServeKind::Hit);
+        assert_eq!(again.radio_bytes, 0);
+    }
+
+    #[test]
+    fn stats_project_the_legacy_counters() {
+        let mut svc = service();
+        let t = SimInstant::ZERO;
+        for page in svc
+            .world()
+            .pages()
+            .iter()
+            .take(6)
+            .map(|p| p.id)
+            .collect::<Vec<_>>()
+        {
+            svc.serve(WebService::key_of(page), t).expect("valid key");
+            svc.serve(WebService::key_of(page), t + SimDuration::from_secs(60))
+                .expect("valid key");
+        }
+        let legacy = svc.web().stats();
+        let stats = svc.service_stats();
+        assert_eq!(stats.serves, legacy.visits());
+        assert_eq!(stats.hits, legacy.instant_hits);
+        assert_eq!(stats.stale_hits, legacy.stale_refetches);
+        assert_eq!(stats.misses, legacy.misses);
+        assert_eq!(stats.radio_bytes, legacy.radio_bytes());
+    }
+
+    #[test]
+    fn out_of_range_keys_are_typed_errors() {
+        let mut svc = service();
+        let beyond = svc.world().pages().len() as u64;
+        assert_eq!(
+            svc.serve(beyond, SimInstant::ZERO),
+            Err(CloudletError::UnknownKey { key: beyond })
+        );
+        assert_eq!(
+            svc.serve(u64::MAX, SimInstant::ZERO),
+            Err(CloudletError::UnknownKey { key: u64::MAX })
+        );
+        assert_eq!(svc.service_stats().serves, 0, "errors are not serves");
+    }
+
+    #[test]
+    fn capacity_reports_the_flash_budget() {
+        let svc = service();
+        assert_eq!(svc.capacity_bytes(), PocketWeb::DEFAULT_FLASH_BUDGET);
+        assert!(svc.cache_bytes() < svc.capacity_bytes());
+        let demand = svc.budget_demand(cloudlet_core::coordination::CloudletId(1), 1.0);
+        assert_eq!(demand.demand_bytes as u64, PocketWeb::DEFAULT_FLASH_BUDGET);
+    }
+}

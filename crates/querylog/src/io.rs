@@ -57,7 +57,10 @@ impl std::fmt::Display for ParseError {
                 write!(f, "expected header {FORMAT_HEADER:?}, found {found:?}")
             }
             ParseError::BadFieldCount { line, fields } => {
-                write!(f, "line {line}: expected 7 tab-separated fields, found {fields}")
+                write!(
+                    f,
+                    "line {line}: expected 7 tab-separated fields, found {fields}"
+                )
             }
             ParseError::BadField { line, field, value } => {
                 write!(f, "line {line}: invalid {field}: {value:?}")
@@ -181,7 +184,9 @@ pub fn parse_log(text: &str) -> Result<ExternalLog, ParseError> {
         };
         let user: u32 = fields[0].parse().map_err(|_| bad("user", fields[0]))?;
         let day: u16 = fields[1].parse().map_err(|_| bad("day", fields[1]))?;
-        let micros: u64 = fields[2].parse().map_err(|_| bad("micros_of_day", fields[2]))?;
+        let micros: u64 = fields[2]
+            .parse()
+            .map_err(|_| bad("micros_of_day", fields[2]))?;
         if micros >= 86_400_000_000 {
             return Err(bad("micros_of_day", fields[2]));
         }
@@ -251,7 +256,8 @@ mod tests {
 
     #[test]
     fn field_errors_name_line_and_field() {
-        let text = format!("{FORMAT_HEADER}\n0\t0\t0\tnav\tsmart\tq\tu\nx\t0\t0\tnav\tsmart\tq\tu\n");
+        let text =
+            format!("{FORMAT_HEADER}\n0\t0\t0\tnav\tsmart\tq\tu\nx\t0\t0\tnav\tsmart\tq\tu\n");
         let err = parse_log(&text).unwrap_err();
         assert_eq!(
             err,
@@ -278,7 +284,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_are_skipped() {
-        let text = format!("{FORMAT_HEADER}\n# comment\n\n0\t1\t2\tweb\tfeature\thello\twww.x.com\n");
+        let text =
+            format!("{FORMAT_HEADER}\n# comment\n\n0\t1\t2\tweb\tfeature\thello\twww.x.com\n");
         let parsed = parse_log(&text).unwrap();
         assert_eq!(parsed.rows.len(), 1);
         assert_eq!(parsed.rows[0].4, "hello");

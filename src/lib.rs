@@ -64,6 +64,9 @@ pub mod prelude {
     pub use cloudlet_core::contentgen::{AdmissionPolicy, CacheContents};
     pub use cloudlet_core::corpus::UniverseCorpus;
     pub use cloudlet_core::ranking::RankingPolicy;
+    pub use cloudlet_core::service::{
+        CloudletError, CloudletService, ServeKind, ServeOutcome, ServeStats,
+    };
     pub use cloudlet_core::shard::ShardedTable;
     pub use cloudlet_core::update::UpdateServer;
     pub use flashdb::{DbConfig, ResultDb, ResultRecord};
@@ -77,9 +80,9 @@ pub mod prelude {
     pub use pocketsearch::config::PocketSearchConfig;
     pub use pocketsearch::engine::{Catalog, PocketSearch};
     pub use pocketsearch::experiment::{run_hit_rate_study, HitRateConfig};
-    pub use pocketsearch::fleet::{FleetEvent, FleetReport, ServeRouter};
+    pub use pocketsearch::fleet::{FleetEvent, FleetReport, SearchShard, ServeRouter};
     pub use pocketsearch::replay::{replay_population, replay_user, ClassSummary};
-    pub use pocketweb::{PocketWeb, RefreshPolicy, WebWorld, WorldConfig};
+    pub use pocketweb::{PocketWeb, RefreshPolicy, WebService, WebWorld, WorldConfig};
     pub use querylog::generator::{GeneratorConfig, LogGenerator};
     pub use querylog::triplets::TripletTable;
     pub use querylog::universe::{QueryKind, Universe, UniverseConfig};

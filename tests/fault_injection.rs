@@ -44,7 +44,12 @@ fn corrupted_record_bytes_are_detected() {
     for h in 0..20u64 {
         match db.get(h, &flash) {
             Ok(_) => ok_seen = true,
-            Err(DbError::Corrupt(_)) | Err(DbError::Flash(_)) => corrupt_seen = true,
+            Err(
+                DbError::Corrupt(_)
+                | DbError::Flash(_)
+                | DbError::TruncatedRecord { .. }
+                | DbError::CorruptHeader { .. },
+            ) => corrupt_seen = true,
             Err(DbError::NotFound { .. }) => panic!("records were all inserted"),
         }
     }
@@ -117,7 +122,66 @@ fn header_corruption_fails_verification() {
     let name = flash.file_names().next().unwrap().to_owned();
     // Flip the live-count field in the header preamble.
     flash.overwrite(&name, 4, &u32::MAX.to_le_bytes()).unwrap();
-    assert!(db.verify(&flash).is_err());
+    assert!(matches!(
+        db.verify(&flash),
+        Err(DbError::CorruptHeader { .. })
+    ));
+}
+
+#[test]
+fn header_preamble_corruption_is_a_typed_get_error() {
+    let (db, mut flash) = small_db();
+    // Hash 0 lives in file 0 under the `hash % n_files` placement rule.
+    let name = db.file_name_of(0);
+    flash.overwrite(&name, 4, &u32::MAX.to_le_bytes()).unwrap();
+
+    match db.get(0, &flash) {
+        Err(DbError::CorruptHeader { file, detail }) => {
+            assert_eq!(file, 0);
+            assert!(
+                detail.contains("count"),
+                "detail names the bad field: {detail}"
+            );
+        }
+        other => panic!("expected CorruptHeader, got {other:?}"),
+    }
+    // Files whose headers were not touched keep serving.
+    assert!(db.get(1, &flash).is_ok());
+    // And verify reports the same damage.
+    assert!(matches!(
+        db.verify(&flash),
+        Err(DbError::CorruptHeader { file: 0, .. })
+    ));
+}
+
+#[test]
+fn smashed_length_prefix_is_a_truncated_record_error() {
+    let (db, mut flash) = small_db();
+    // The first record of file 0 is hash 0, stored right after the
+    // header: 8 bytes of result hash, then the title's 16-bit length
+    // prefix. Derive its offset from the file size and the known record
+    // encoding so the test does not hard-code the header capacity.
+    let name = db.file_name_of(0);
+    let size = flash.file_size(&name).expect("file exists");
+    let data_bytes: u64 = (0..20u64)
+        .filter(|h| h % 4 == 0)
+        .map(|h| record(h).encoded_len() as u64)
+        .sum();
+    let first_record_offset = size - data_bytes;
+
+    // A 0xFFFF length prefix claims a 64 KB title in a ~1 KB file.
+    flash
+        .overwrite(&name, first_record_offset + 8, &[0xFF, 0xFF])
+        .expect("overwrite within bounds");
+
+    assert_eq!(
+        db.get(0, &flash),
+        Err(DbError::TruncatedRecord { result_hash: 0 }),
+        "a record whose bytes end early must name itself in the error"
+    );
+    // Later records in the same file are indexed by offset, not by
+    // scanning, so they still decode.
+    assert!(db.get(4, &flash).is_ok());
 }
 
 #[test]

@@ -32,7 +32,7 @@ fn eight_threads_lose_no_counter_updates() {
         for lane in events.chunks(EVENTS_PER_THREAD) {
             scope.spawn(move || {
                 for &event in lane {
-                    router.serve_one(event);
+                    router.serve_one(event).expect("serve");
                 }
             });
         }
@@ -47,10 +47,7 @@ fn eight_threads_lose_no_counter_updates() {
             report.events,
             "shard {shard} counters disagree"
         );
-        let expected = events
-            .iter()
-            .filter(|e| e.query_hash % 8 == shard as u64)
-            .count() as u64;
+        let expected = events.iter().filter(|e| e.key % 8 == shard as u64).count() as u64;
         assert_eq!(report.events, expected, "shard {shard} event total");
     }
 }
@@ -66,7 +63,9 @@ fn serve_one_and_serve_batch_agree_under_contention() {
     let events = fleet_workload(&inputs, 32, 1_000, 54);
 
     // Ground truth from a batched run on a fresh router.
-    let batch_report = ServeRouter::from_engine(&engine, 4).serve_batch(&events);
+    let batch_report = ServeRouter::from_engine(&engine, 4)
+        .serve_batch(&events)
+        .expect("fleet batch");
 
     // The same stream hammered thread-per-chunk through serve_one.
     let router = ServeRouter::from_engine(&engine, 4);
@@ -75,7 +74,7 @@ fn serve_one_and_serve_batch_agree_under_contention() {
         for lane in events.chunks(events.len() / THREADS + 1) {
             scope.spawn(move || {
                 for &event in lane {
-                    router.serve_one(event);
+                    router.serve_one(event).expect("serve");
                 }
             });
         }
@@ -111,12 +110,19 @@ fn sixteen_shards_at_least_double_throughput() {
     );
     let events = fleet_workload(&inputs, 64, 2_000, 56);
 
-    let one = ServeRouter::from_engine(&engine, 1).serve_batch(&events);
-    let sixteen = ServeRouter::from_engine(&engine, 16).serve_batch(&events);
+    let one = ServeRouter::from_engine(&engine, 1)
+        .serve_batch(&events)
+        .expect("fleet batch");
+    let sixteen = ServeRouter::from_engine(&engine, 16)
+        .serve_batch(&events)
+        .expect("fleet batch");
 
     assert_eq!(one.hits(), sixteen.hits(), "hit ratio must be invariant");
     assert_eq!(one.misses(), sixteen.misses());
-    assert!(one.hits() > 0 && one.misses() > 0, "workload exercises both paths");
+    assert!(
+        one.hits() > 0 && one.misses() > 0,
+        "workload exercises both paths"
+    );
 
     let speedup = sixteen.throughput_qps() / one.throughput_qps();
     assert!(

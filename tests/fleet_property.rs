@@ -42,13 +42,15 @@ fn shared_engine() -> &'static (PocketSearch, Vec<u64>) {
 /// the rest use the raw hash (a miss with overwhelming probability).
 fn materialize(raw: &[(u64, u64, bool)], cached: &[u64]) -> Vec<FleetEvent> {
     raw.iter()
-        .map(|&(user, selector, from_cache)| FleetEvent {
-            user,
-            query_hash: if from_cache {
-                cached[(selector % cached.len() as u64) as usize]
-            } else {
-                selector | 1 << 63
-            },
+        .map(|&(user, selector, from_cache)| {
+            FleetEvent::search(
+                user,
+                if from_cache {
+                    cached[(selector % cached.len() as u64) as usize]
+                } else {
+                    selector | 1 << 63
+                },
+            )
         })
         .collect()
 }
@@ -67,14 +69,14 @@ proptest! {
         let mut sequential = engine.clone();
         let mut expected: Vec<(u64, bool)> = events
             .iter()
-            .map(|e| (e.query_hash, sequential.serve(e.query_hash).hit))
+            .map(|e| (e.key, sequential.serve(e.key).hit))
             .collect();
 
         let router = ServeRouter::from_engine(engine, shards);
-        let report = router.serve_batch(&events);
+        let report = router.serve_batch(&events).expect("fleet batch");
         let mut observed: Vec<(u64, bool)> = events
             .iter()
-            .map(|e| (e.query_hash, router.serve_one(*e).hit))
+            .map(|e| (e.key, router.serve_one(*e).expect("serve").hit()))
             .collect();
 
         expected.sort_unstable();
@@ -100,11 +102,11 @@ proptest! {
 
         let mut lanes = vec![0u64; shards];
         for event in &events {
-            lanes[(event.query_hash % shards as u64) as usize] += 1;
+            lanes[(event.key % shards as u64) as usize] += 1;
         }
 
         let router = ServeRouter::from_engine(engine, shards);
-        let report = router.serve_batch(&events);
+        let report = router.serve_batch(&events).expect("fleet batch");
         let routed: Vec<u64> = report.shards.iter().map(|s| s.events).collect();
         prop_assert_eq!(&routed, &lanes);
     }
@@ -120,12 +122,10 @@ proptest! {
         let events = materialize(&raw, cached);
 
         let router = ServeRouter::from_engine(engine, shards);
-        let before = router.table().pair_counts();
-        router.serve_batch(&events);
-        prop_assert_eq!(router.table().pair_counts(), before);
-        prop_assert_eq!(
-            router.table().pair_count(),
-            engine.cache().table().pair_count()
-        );
+        let table = router.table().expect("search routers carry a table");
+        let before = table.pair_counts();
+        router.serve_batch(&events).expect("fleet batch");
+        prop_assert_eq!(table.pair_counts(), before);
+        prop_assert_eq!(table.pair_count(), engine.cache().table().pair_count());
     }
 }

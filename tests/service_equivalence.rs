@@ -1,0 +1,321 @@
+//! Service-layer equivalence: for every cloudlet, serving a workload
+//! through the unified [`CloudletService`] trait must produce exactly
+//! the statistics its legacy serve loop produces on the same seeded
+//! workload — the refactor's "no observable behavior change" contract,
+//! checked property-style (256 cases per cloudlet).
+//!
+//! The file ends with the heterogeneous acceptance test: one
+//! [`ServeRouter`] mixing search, web, and maps lanes across eight
+//! worker threads, whose aggregate hit count equals the sum of the
+//! three legacy loops run sequentially.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use pocket_cloudlets::core::contentgen::{AdmissionPolicy, CacheContents};
+use pocket_cloudlets::core::corpus::UniverseCorpus;
+use pocket_cloudlets::core::service::{CloudletService, ServeOutcome, ServeStats};
+use pocket_cloudlets::mobsim::time::{SimDuration, SimInstant};
+use pocket_cloudlets::pocketmaps::grid::TileGrid;
+use pocket_cloudlets::pocketmaps::{PocketMaps, TileId};
+use pocket_cloudlets::pocketsearch::advert::{AdCloudlet, AdOutcome, AdRecord};
+use pocket_cloudlets::pocketsearch::config::PocketSearchConfig;
+use pocket_cloudlets::pocketsearch::engine::{Catalog, PocketSearch};
+use pocket_cloudlets::pocketsearch::fleet::{FleetEvent, SearchShard, ServeRouter};
+use pocket_cloudlets::pocketweb::world::{PageId, WebWorld};
+use pocket_cloudlets::pocketweb::{PocketWeb, RefreshPolicy, WebService, WorldConfig};
+use pocket_cloudlets::querylog::generator::{GeneratorConfig, LogGenerator};
+use pocket_cloudlets::querylog::triplets::TripletTable;
+
+/// One shared search engine (expensive to build); serving runs on
+/// clones, so sharing is sound.
+fn shared_engine() -> &'static (PocketSearch, Vec<u64>) {
+    static ENGINE: OnceLock<(PocketSearch, Vec<u64>)> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let mut generator = LogGenerator::new(GeneratorConfig::test_scale(), 41);
+        let month = generator.generate_month();
+        let triplets = TripletTable::from_log(&month);
+        let contents = CacheContents::generate(
+            &triplets,
+            &UniverseCorpus::new(generator.universe()),
+            AdmissionPolicy::CumulativeShare { share: 0.55 },
+        );
+        let catalog = Catalog::new(generator.universe());
+        let engine = PocketSearch::build(&contents, &catalog, PocketSearchConfig::default());
+        let cached = contents.pairs().iter().map(|p| p.query_hash).collect();
+        (engine, cached)
+    })
+}
+
+/// One shared simulated web; cloudlets serving it are built per case.
+fn shared_world() -> &'static WebWorld {
+    static WORLD: OnceLock<WebWorld> = OnceLock::new();
+    WORLD.get_or_init(|| WebWorld::generate(WorldConfig::test_scale(), 43))
+}
+
+proptest! {
+    /// Search: the trait path wraps the sequential engine, so its
+    /// accumulated [`ServeStats`] must equal the stats reconstructed
+    /// from a legacy `PocketSearch::serve` loop over the same keys in
+    /// the same order (radio warm-up state and all).
+    #[test]
+    fn search_trait_stats_match_legacy_serve_loop(
+        raw in proptest::collection::vec((any::<u64>(), any::<bool>()), 1..24),
+    ) {
+        let (engine, cached) = shared_engine();
+        let keys: Vec<u64> = raw
+            .iter()
+            .map(|&(selector, from_cache)| {
+                if from_cache {
+                    cached[(selector % cached.len() as u64) as usize]
+                } else {
+                    selector | 1 << 63
+                }
+            })
+            .collect();
+
+        let mut legacy = engine.clone();
+        let miss_bytes = {
+            let c = legacy.device().config();
+            c.request_bytes + c.response_bytes
+        };
+        let mut expected = ServeStats::default();
+        for &key in &keys {
+            let served = legacy.serve(key);
+            let outcome = if served.hit {
+                ServeOutcome::hit()
+            } else {
+                ServeOutcome::miss(miss_bytes)
+            }
+            .with_service(served.report.total_time);
+            expected.record(&outcome);
+        }
+
+        let mut unified = engine.clone();
+        for &key in &keys {
+            CloudletService::serve(&mut unified, key, SimInstant::ZERO)
+                .expect("search serve is infallible on valid state");
+        }
+        prop_assert_eq!(unified.service_stats(), expected);
+        prop_assert_eq!(expected.serves, keys.len() as u64);
+    }
+
+    /// Web: serving page keys through [`WebService`] must leave the
+    /// cloudlet with exactly the counters a legacy `visit` loop leaves,
+    /// including stale refetches driven by simulated time.
+    #[test]
+    fn web_trait_stats_match_legacy_visit_loop(
+        raw in proptest::collection::vec((any::<u64>(), 0u64..10_000), 1..24),
+    ) {
+        let world = shared_world();
+        let n_pages = world.pages().len() as u64;
+        let visits: Vec<(PageId, SimInstant)> = raw
+            .iter()
+            .map(|&(selector, minutes)| {
+                (
+                    PageId((selector % n_pages) as u32),
+                    SimInstant::ZERO + SimDuration::from_secs(minutes * 60),
+                )
+            })
+            .collect();
+
+        let mut legacy = PocketWeb::new(world, RefreshPolicy::OvernightOnly);
+        for &(page, at) in &visits {
+            legacy.visit(world, page, at);
+        }
+
+        let mut unified = WebService::new(
+            world.clone(),
+            PocketWeb::new(world, RefreshPolicy::OvernightOnly),
+        );
+        for &(page, at) in &visits {
+            unified
+                .serve(WebService::key_of(page), at)
+                .expect("in-range page keys serve");
+        }
+
+        prop_assert_eq!(
+            unified.service_stats(),
+            WebService::project_stats(&legacy.stats())
+        );
+        prop_assert_eq!(unified.service_stats().serves, visits.len() as u64);
+    }
+
+    /// Maps: serving packed tile keys must render exactly the viewports
+    /// a legacy `render_viewport` loop renders, with identical
+    /// hit/miss/radio accounting.
+    #[test]
+    fn maps_trait_stats_match_legacy_render_loop(
+        raw in proptest::collection::vec((-40i32..40, -40i32..40), 1..24),
+    ) {
+        let grid = TileGrid::paper_default();
+        let tiles: Vec<TileId> = raw.iter().map(|&(x, y)| TileId { x, y }).collect();
+
+        let mut legacy = PocketMaps::new(grid, 10_000_000);
+        for &tile in &tiles {
+            legacy.render_viewport(grid.tile_center(tile));
+        }
+
+        let mut unified = PocketMaps::new(grid, 10_000_000);
+        for &tile in &tiles {
+            CloudletService::serve(&mut unified, tile.to_key(), SimInstant::ZERO)
+                .expect("every u64 is a tile");
+        }
+
+        prop_assert_eq!(
+            unified.service_stats(),
+            PocketMaps::project_stats(&legacy.stats())
+        );
+        prop_assert_eq!(unified.service_stats().serves, tiles.len() as u64);
+    }
+
+    /// Ads: the trait serve is a standalone consultation (search hit
+    /// assumed), so it must match a legacy `serve(q, true)` loop over
+    /// the same queries, creative for creative.
+    #[test]
+    fn ads_trait_stats_match_legacy_serve_loop(
+        installs in proptest::collection::vec((0u64..64, any::<u64>()), 1..16),
+        queries in proptest::collection::vec(0u64..96, 1..24),
+    ) {
+        let mut legacy = AdCloudlet::new();
+        for &(query, ad_hash) in &installs {
+            legacy.install(
+                query,
+                AdRecord {
+                    ad_hash,
+                    banner_bytes: 5_000,
+                    caption: format!("creative {ad_hash}"),
+                },
+            );
+        }
+        let mut unified = legacy.clone();
+
+        let mut legacy_hits = 0u64;
+        for &query in &queries {
+            if matches!(legacy.serve(query, true), AdOutcome::Hit(_)) {
+                legacy_hits += 1;
+            }
+        }
+        for &query in &queries {
+            CloudletService::serve(&mut unified, query, SimInstant::ZERO)
+                .expect("ad serve is infallible");
+        }
+
+        let (hits, misses, skipped) = legacy.counters();
+        let stats = unified.service_stats();
+        prop_assert_eq!(stats.hits, hits);
+        prop_assert_eq!(stats.hits, legacy_hits);
+        prop_assert_eq!(stats.misses, misses);
+        prop_assert_eq!(stats.skipped, skipped);
+        prop_assert_eq!(stats.serves, queries.len() as u64);
+    }
+}
+
+/// The tentpole acceptance test: a heterogeneous [`ServeRouter`] with
+/// six search shards, one web lane, and one maps lane — eight lanes,
+/// so [`ServeRouter::serve_batch`] drains the mixed batch on eight
+/// worker threads — whose aggregate hit count equals the sum of the
+/// three legacy serve loops run sequentially on the same workload.
+#[test]
+fn heterogeneous_router_matches_sum_of_legacy_loops() {
+    const SEARCH: u32 = 0;
+    const WEB: u32 = 1;
+    const MAPS: u32 = 2;
+
+    let (engine, cached) = shared_engine();
+    let world = shared_world();
+    let grid = TileGrid::paper_default();
+
+    // The mixed workload: interleaved search queries (hot cached head
+    // plus guaranteed tail misses), web page visits, and map viewports.
+    let mut events = Vec::new();
+    for i in 0..240u64 {
+        match i % 3 {
+            0 => {
+                let key = if i % 9 == 0 {
+                    u64::MAX - i // not in any cache: a radio miss
+                } else {
+                    cached[(i as usize * 7) % cached.len()]
+                };
+                events.push(FleetEvent::new(i, SEARCH, key, SimInstant::ZERO));
+            }
+            1 => {
+                let page = PageId((i % world.pages().len() as u64) as u32);
+                let at = SimInstant::ZERO + SimDuration::from_secs(i * 30);
+                events.push(FleetEvent::new(i, WEB, WebService::key_of(page), at));
+            }
+            _ => {
+                let tile = TileId {
+                    x: (i % 11) as i32 - 5,
+                    y: (i % 7) as i32 - 3,
+                };
+                events.push(FleetEvent::new(i, MAPS, tile.to_key(), SimInstant::ZERO));
+            }
+        }
+    }
+
+    // Legacy loop 1: the sequential search engine.
+    let mut legacy_search = engine.clone();
+    let search_hits = events
+        .iter()
+        .filter(|e| e.service == SEARCH)
+        .filter(|e| legacy_search.serve(e.key).hit)
+        .count() as u64;
+
+    // Legacy loop 2: the web cloudlet's visit path.
+    let mut legacy_web = PocketWeb::new(world, RefreshPolicy::OvernightOnly);
+    for e in events.iter().filter(|e| e.service == WEB) {
+        legacy_web.visit(world, PageId(e.key as u32), e.at);
+    }
+    let web_hits = legacy_web.stats().instant_hits;
+
+    // Legacy loop 3: the maps cloudlet's render path.
+    let mut legacy_maps = PocketMaps::new(grid, 10_000_000);
+    for e in events.iter().filter(|e| e.service == MAPS) {
+        legacy_maps.render_viewport(grid.tile_center(TileId::from_key(e.key)));
+    }
+    let maps_hits = legacy_maps.stats().instant_renders;
+
+    // The unified fleet: 6 search shards + 1 web + 1 maps = 8 lanes.
+    let (_table, shards) = SearchShard::fleet_of(engine, 6);
+    let search_lanes: Vec<Box<dyn CloudletService + Send>> = shards
+        .into_iter()
+        .map(|s| Box::new(s) as Box<dyn CloudletService + Send>)
+        .collect();
+    let router = ServeRouter::from_services(vec![
+        search_lanes,
+        vec![Box::new(WebService::new(
+            world.clone(),
+            PocketWeb::new(world, RefreshPolicy::OvernightOnly),
+        ))],
+        vec![Box::new(PocketMaps::new(grid, 10_000_000))],
+    ]);
+    assert_eq!(router.lane_count(), 8, "the batch drains on 8 threads");
+    assert_eq!(router.group_count(), 3);
+
+    let report = router.serve_batch(&events).expect("mixed batch");
+
+    let legacy_hits = search_hits + web_hits + maps_hits;
+    assert_eq!(report.events(), events.len() as u64);
+    assert_eq!(report.errors(), 0);
+    assert_eq!(
+        report.hits(),
+        legacy_hits,
+        "aggregate hits must equal the sum of the three legacy loops"
+    );
+    assert_eq!(
+        report.hit_rate(),
+        legacy_hits as f64 / events.len() as f64,
+        "hit ratio matches exactly"
+    );
+    assert!(
+        report.hits() > 0 && report.misses() > 0,
+        "both paths exercised"
+    );
+
+    // Per-group sanity: lane names partition as declared.
+    assert_eq!(router.lane_name(0), "search");
+    assert_eq!(router.lane_name(6), "web");
+    assert_eq!(router.lane_name(7), "maps");
+}

@@ -172,6 +172,12 @@ pub struct BenchmarkGroup<'c> {
 }
 
 impl BenchmarkGroup<'_> {
+    /// Accepts (and ignores) a requested sample count; this harness sizes
+    /// samples by measurement time alone.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
     /// Runs one benchmark within the group.
     pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
     where
