@@ -11,12 +11,17 @@
 //!   machine-independent and is the number the scaling claim rests on.
 //!   The aggregate hit ratio is printed alongside because sharding must
 //!   not change it.
+//!
+//! A second group pits the pipelined front-end (coalescing + shared-read
+//! hit path) against its PR 3 baseline configuration on the
+//! duplicate-heavy Zipf batch, with the same two signals.
 
+use cloudlet_core::frontend::{FrontendConfig, ServeRequest};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use pocket_bench::{fleet_workload, test_scale_study_inputs};
+use pocket_bench::{fleet_workload, frontend_workload, test_scale_study_inputs};
 use pocketsearch::config::PocketSearchConfig;
 use pocketsearch::engine::PocketSearch;
-use pocketsearch::fleet::ServeRouter;
+use pocketsearch::fleet::{search_frontend, ServeRouter};
 use std::hint::black_box;
 
 const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
@@ -74,6 +79,70 @@ fn bench_serve_batch(c: &mut Criterion) {
     }
 }
 
+/// The pipelined front-end against the PR 3 baseline on the
+/// duplicate-heavy Zipf batch: Criterion wall-clock for both configs,
+/// then the machine-independent simulated table (coalescing and the
+/// shared-read hit path change *when* work runs, never its outcome, so
+/// the hit ratio must print identically on every row).
+fn bench_frontend_batch(c: &mut Criterion) {
+    let inputs = test_scale_study_inputs(21);
+    let engine = PocketSearch::build(
+        &inputs.contents,
+        &inputs.catalog,
+        PocketSearchConfig::default(),
+    );
+    let requests: Vec<ServeRequest> = frontend_workload(&inputs, 64, 2_000, 79)
+        .into_iter()
+        .map(ServeRequest::from)
+        .collect();
+
+    let configs = [
+        ("baseline", FrontendConfig::pr3_baseline()),
+        ("optimized", FrontendConfig::default()),
+    ];
+    let mut group = c.benchmark_group("frontend/serve_batch_2k");
+    for (name, config) in configs {
+        let (_, frontend) = search_frontend(&engine, 8, config);
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || requests.clone(),
+                |batch| black_box(frontend.serve_batch(&batch)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+
+    println!("\nfront-end simulated throughput (duplicate-heavy Zipf, 2000 events, 8 lanes)");
+    println!(
+        "{:>10}  {:>8}  {:>10}  {:>14}  {:>9}",
+        "config", "hits", "coalesced", "sim qps", "hit rate"
+    );
+    let mut baseline_qps = None;
+    for (name, config) in configs {
+        let (_, frontend) = search_frontend(&engine, 8, config);
+        let batch = frontend.serve_batch(&requests).expect("front-end batch");
+        let report = &batch.report;
+        let qps = report.throughput_qps();
+        let speedup = match baseline_qps {
+            None => {
+                baseline_qps = Some(qps);
+                String::from("1.00x")
+            }
+            Some(base) => format!("{:.2}x", qps / base),
+        };
+        println!(
+            "{:>10}  {:>8}  {:>10}  {:>8.1} ({})  {:>9.4}",
+            name,
+            report.hits(),
+            report.coalesced(),
+            qps,
+            speedup,
+            report.hit_rate()
+        );
+    }
+}
+
 fn bench_serve_one(c: &mut Criterion) {
     let inputs = test_scale_study_inputs(21);
     let engine = PocketSearch::build(
@@ -92,5 +161,10 @@ fn bench_serve_one(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_serve_batch, bench_serve_one);
+criterion_group!(
+    benches,
+    bench_serve_batch,
+    bench_frontend_batch,
+    bench_serve_one
+);
 criterion_main!(benches);

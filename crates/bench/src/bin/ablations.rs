@@ -1,7 +1,7 @@
 //! Ablations of the design choices DESIGN.md calls out.
 //!
 //! ```text
-//! ablations [--study <id>] [--scale test|full] [--seed N]
+//! ablations [--study <id>] [--scale test|full] [--seed N] [--out <path>]
 //!   ids: lambda admission tiers freshness maps battery suggest radios offload all
 //! ```
 //!
@@ -26,37 +26,47 @@
 //! * `fleet` — the sharded serving layer: the same Zipf batch replayed
 //!   through a multi-threaded `ServeRouter` at 1–16 shards, reporting
 //!   simulated makespan, throughput, and the (invariant) hit ratio.
+//! * `frontend` — the pipelined serve front-end: a duplicate-heavy Zipf
+//!   batch swept over queue depth × coalescing × hit-path mode against
+//!   the PR 3 per-lane-mutex baseline, reporting simulated qps, p99
+//!   simulated queue wait, and the (invariant) hit ratio. With `--out`,
+//!   also writes the sweep as JSON (`BENCH_frontend.json`).
 
 use baselines::{CacheRequest, LfuQueryCache, LruQueryCache, QueryCache};
 use cloudlet_core::cache::CacheMode;
 use cloudlet_core::contentgen::{AdmissionPolicy, CacheContents};
 use cloudlet_core::corpus::UniverseCorpus;
+use cloudlet_core::frontend::{FrontendConfig, HitPathMode, OverflowPolicy, ServeRequest};
 use cloudlet_core::hashtable::QueryHashTable;
 use cloudlet_core::ranking::RankingPolicy;
 use mobsim::memory::{IndexPlacement, TieredMemory};
 use pocket_bench::{
-    fleet_workload, full_scale_study_inputs, test_scale_study_inputs, StudyInputs, Table,
+    fleet_workload, frontend_workload, full_scale_study_inputs, test_scale_study_inputs,
+    StudyInputs, Table,
 };
 use pocketsearch::config::PocketSearchConfig;
 use pocketsearch::engine::PocketSearch;
 use pocketsearch::experiment::{run_hit_rate_study, select_streams, HitRateConfig};
-use pocketsearch::fleet::ServeRouter;
+use pocketsearch::fleet::{search_frontend, ServeRouter};
 use pocketsearch::replay::replay_population;
 
 struct Options {
     studies: Vec<String>,
     full_scale: bool,
     seed: u64,
+    out: Option<String>,
 }
 
 fn parse_args() -> Options {
     let mut studies = Vec::new();
     let mut full_scale = true;
     let mut seed = 2011;
+    let mut out = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--study" => studies.push(args.next().expect("--study needs a value")),
+            "--out" => out = Some(args.next().expect("--out needs a path")),
             "--scale" => {
                 full_scale = match args.next().expect("--scale needs a value").as_str() {
                     "full" => true,
@@ -86,6 +96,7 @@ fn parse_args() -> Options {
             "radios",
             "offload",
             "fleet",
+            "frontend",
         ]
         .iter()
         .map(|s| (*s).to_owned())
@@ -95,6 +106,7 @@ fn parse_args() -> Options {
         studies,
         full_scale,
         seed,
+        out,
     }
 }
 
@@ -117,6 +129,7 @@ fn main() {
             "radios" => radios_study(&opts),
             "offload" => offload_study(&opts),
             "fleet" => fleet_study(&opts),
+            "frontend" => frontend_study(&opts),
             other => eprintln!("unknown study {other:?}"),
         }
     }
@@ -657,4 +670,219 @@ fn fleet_study(opts: &Options) {
     }
     println!("{}", table.render());
     println!("hit ratio and total busy time are shard-invariant; the makespan (and so\nthroughput) scales with shards until the hottest shard's load dominates.\n");
+}
+
+/// One point of the front-end ablation sweep.
+struct FrontendPoint {
+    name: &'static str,
+    config: FrontendConfig,
+    sim_qps: f64,
+    hit_ratio: f64,
+    p99_wait_ms: f64,
+    coalesced: u64,
+    stolen: u64,
+}
+
+/// The pipelined serve front-end: a duplicate-heavy Zipf batch against
+/// a fixed 8-lane search fleet, sweeping queue depth × coalescing ×
+/// hit-path mode against the PR 3 per-lane-mutex baseline. Every config
+/// uses the `Park` overflow policy so nothing is shed and the hit ratio
+/// is *exactly* invariant across the sweep — the only thing that moves
+/// is when work runs, which is what simulated qps and queue wait
+/// measure.
+fn frontend_study(opts: &Options) {
+    let inputs: StudyInputs = if opts.full_scale {
+        full_scale_study_inputs(opts.seed)
+    } else {
+        test_scale_study_inputs(opts.seed)
+    };
+    let engine = PocketSearch::build(
+        &inputs.contents,
+        &inputs.catalog,
+        PocketSearchConfig::default(),
+    );
+    let (users, n_events) = if opts.full_scale {
+        (1_000, 50_000)
+    } else {
+        (64, 4_000)
+    };
+    let shards = 8usize;
+    let events = frontend_workload(&inputs, users, n_events, opts.seed ^ 0xf407);
+    let requests: Vec<ServeRequest> = events.iter().map(|&e| e.into()).collect();
+
+    let parked = |queue_depth: usize,
+                  coalescing: bool,
+                  hit_path: HitPathMode,
+                  work_stealing: bool| FrontendConfig {
+        queue_depth,
+        coalescing,
+        hit_path,
+        overflow: OverflowPolicy::Park,
+        work_stealing,
+        ..FrontendConfig::default()
+    };
+    let deep = usize::MAX;
+    let sweep: Vec<(&'static str, FrontendConfig)> = vec![
+        ("baseline (PR 3 router)", FrontendConfig::pr3_baseline()),
+        (
+            "+coalescing",
+            parked(deep, true, HitPathMode::Exclusive, false),
+        ),
+        (
+            "+shared-read hits",
+            parked(deep, false, HitPathMode::SharedRead, false),
+        ),
+        ("+both", parked(deep, true, HitPathMode::SharedRead, false)),
+        (
+            "+both, depth 4",
+            parked(4, true, HitPathMode::SharedRead, false),
+        ),
+        (
+            "+both, depth 16",
+            parked(16, true, HitPathMode::SharedRead, false),
+        ),
+        (
+            "+both, depth 4 + stealing",
+            parked(4, true, HitPathMode::SharedRead, true),
+        ),
+    ];
+
+    let mut table = Table::new(
+        format!(
+            "Ablation: pipelined serve front-end ({n_events} duplicate-heavy Zipf events, \
+             {users} users, {shards} lanes)"
+        ),
+        &[
+            "config",
+            "hit rate",
+            "coalesced",
+            "stolen",
+            "p99 wait (sim)",
+            "sim qps",
+            "speedup",
+        ],
+    );
+    let mut points = Vec::with_capacity(sweep.len());
+    let mut baseline_qps = None;
+    for (name, config) in sweep {
+        let (_, frontend) = search_frontend(&engine, shards, config);
+        let batch = frontend.serve_batch(&requests).expect("frontend batch");
+        let report = &batch.report;
+        assert_eq!(report.rejected(), 0, "Park must shed nothing");
+        let qps = report.throughput_qps();
+        let base = *baseline_qps.get_or_insert(qps);
+        let p99_ms = report.queue_wait_p99.as_secs_f64() * 1_000.0;
+        table.row(&[
+            name.to_owned(),
+            format!("{:.4}", report.hit_rate()),
+            report.coalesced().to_string(),
+            report.stolen().to_string(),
+            format!("{p99_ms:.0} ms"),
+            format!("{qps:.1}"),
+            format!("{:.2}x", qps / base),
+        ]);
+        points.push(FrontendPoint {
+            name,
+            config,
+            sim_qps: qps,
+            hit_ratio: report.hit_rate(),
+            p99_wait_ms: p99_ms,
+            coalesced: report.coalesced(),
+            stolen: report.stolen(),
+        });
+    }
+    println!("{}", table.render());
+    println!("hit ratio is exactly invariant under Park: the front-end changes *when* work\nruns, never its outcome. Coalescing collapses duplicate radio misses and the\nshared-read pool takes hits off the serial lanes. Parked FIFO start times do\nnot depend on depth — depth matters when the overflow policy sheds (below).\n");
+
+    // Depth is the admission knob: under `Reject` it bounds how much of
+    // a simultaneous burst each lane accepts, shedding the rest with a
+    // typed `QueueFull`. Shed requests are never served, so this table
+    // is separate from the outcome-invariant sweep above.
+    let mut shed_table = Table::new(
+        "Front-end admission under OverflowPolicy::Reject (same batch)".to_owned(),
+        &[
+            "queue depth",
+            "admitted",
+            "shed",
+            "p99 wait (sim)",
+            "sim qps",
+        ],
+    );
+    for depth in [4usize, 16, 64, 256] {
+        let config = FrontendConfig {
+            overflow: OverflowPolicy::Reject,
+            queue_depth: depth,
+            ..FrontendConfig::default()
+        };
+        let (_, frontend) = search_frontend(&engine, shards, config);
+        let batch = frontend.serve_batch(&requests).expect("frontend batch");
+        let report = &batch.report;
+        shed_table.row(&[
+            depth.to_string(),
+            report.served().to_string(),
+            report.rejected().to_string(),
+            format!("{:.0} ms", report.queue_wait_p99.as_secs_f64() * 1_000.0),
+            format!("{:.1}", report.throughput_qps()),
+        ]);
+    }
+    println!("{}", shed_table.render());
+    println!("bounded admission trades completeness for tail latency: shallower queues shed\nmore of the burst but cap how long anything admitted can wait.\n");
+
+    if let Some(path) = &opts.out {
+        let json = frontend_json(opts, users, n_events, shards, &points);
+        std::fs::write(path, json).expect("write --out file");
+        println!("wrote {path}\n");
+    }
+}
+
+/// Hand-rolled JSON for the front-end sweep (the workspace has no JSON
+/// dependency, and the schema is flat enough not to want one).
+fn frontend_json(
+    opts: &Options,
+    users: u64,
+    n_events: usize,
+    shards: usize,
+    points: &[FrontendPoint],
+) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            let depth = if p.config.queue_depth == usize::MAX {
+                "null".to_owned()
+            } else {
+                p.config.queue_depth.to_string()
+            };
+            format!(
+                "    {{\n      \"config\": \"{}\",\n      \"queue_depth\": {},\n      \
+                 \"coalescing\": {},\n      \"hit_path\": \"{}\",\n      \
+                 \"work_stealing\": {},\n      \"sim_qps\": {:.2},\n      \
+                 \"hit_ratio\": {:.6},\n      \"p99_queue_wait_ms\": {:.2},\n      \
+                 \"coalesced\": {},\n      \"stolen\": {}\n    }}",
+                p.name,
+                depth,
+                p.config.coalescing,
+                match p.config.hit_path {
+                    HitPathMode::Exclusive => "exclusive",
+                    HitPathMode::SharedRead => "shared_read",
+                },
+                p.config.work_stealing,
+                p.sim_qps,
+                p.hit_ratio,
+                p.p99_wait_ms,
+                p.coalesced,
+                p.stolen,
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"frontend\",\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \
+         \"users\": {},\n  \"events\": {},\n  \"lanes\": {},\n  \"workload\": \
+         \"duplicate-heavy two-segment Zipf\",\n  \"points\": [\n{}\n  ]\n}}\n",
+        if opts.full_scale { "full" } else { "test" },
+        opts.seed,
+        users,
+        n_events,
+        shards,
+        rows.join(",\n")
+    )
 }

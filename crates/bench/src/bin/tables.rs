@@ -296,7 +296,7 @@ fn dedup(inputs: &StudyInputs) {
     // Compare the real database against the naive one-file-per-pair layout.
     let model = FlashModel::default();
     let mut flash = mobsim::flash::FlashStore::new(model);
-    let records: Vec<flashdb::ResultRecord> = inputs
+    let records: Vec<std::sync::Arc<flashdb::ResultRecord>> = inputs
         .contents
         .pairs()
         .iter()

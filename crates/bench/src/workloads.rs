@@ -98,6 +98,42 @@ pub fn fleet_workload(
         .collect()
 }
 
+/// A duplicate-heavy serving stream for the front-end studies: the same
+/// two-segment Zipf machinery as [`fleet_workload`], but with a much
+/// sharper head (5% of queries carrying 90% of the mass, steeper
+/// in-segment exponents), so bursts of *identical* concurrent queries —
+/// the traffic duplicate-key coalescing collapses — are common by
+/// construction. The head spans the community-cache admission boundary,
+/// so the duplicates include hot radio misses, where coalescing pays
+/// most. Deterministic in `seed`.
+pub fn frontend_workload(
+    inputs: &StudyInputs,
+    users: u64,
+    n_events: usize,
+    seed: u64,
+) -> Vec<FleetEvent> {
+    assert!(users > 0, "the front-end needs at least one user");
+    let mut seen = HashSet::new();
+    let ranked: Vec<u64> = inputs
+        .triplets
+        .iter()
+        .filter(|t| seen.insert(t.query))
+        .map(|t| inputs.catalog.query_hash(t.query))
+        .collect();
+    assert!(ranked.len() >= 2, "workload needs at least two queries");
+    let profile = TwoSegmentZipf {
+        head_count: (ranked.len() / 20).max(1).min(ranked.len() - 1),
+        head_mass: 0.9,
+        s_head: 1.1,
+        s_tail: 0.4,
+    };
+    let index = WeightedIndex::new(profile.weights(ranked.len()));
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_events)
+        .map(|_| FleetEvent::search(rng.random_range(0..users), ranked[index.sample(&mut rng)]))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

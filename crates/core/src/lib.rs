@@ -26,6 +26,10 @@
 //! * [`service`] — the unified serving waist of §7: the
 //!   [`CloudletService`] trait, the shared [`ServeOutcome`]/[`ServeStats`]
 //!   taxonomy, and the workspace-level [`CloudletError`].
+//! * [`frontend`] — the pipelined serving front-end: bounded per-lane
+//!   queues with typed admission/backpressure, duplicate-key
+//!   coalescing, a shared-lock read path for hits, and work stealing
+//!   between replica lanes.
 //! * [`corpus`] — the small trait that ties hashes and record sizes back
 //!   to a concrete corpus (implemented for `querylog::Universe`).
 //! * [`shard`] — the query hash table partitioned into independently
@@ -69,6 +73,7 @@ pub mod contentgen;
 pub mod coordination;
 pub mod corpus;
 pub mod error;
+pub mod frontend;
 pub mod hashtable;
 pub mod ranking;
 pub mod service;
@@ -80,6 +85,9 @@ pub use contentgen::{AdmissionPolicy, CacheContents, CachePair};
 pub use coordination::{CloudletBudgets, CloudletId, CoordinatedEviction};
 pub use corpus::{CorpusView, UniverseCorpus};
 pub use error::CoreError;
+pub use frontend::{
+    Frontend, FrontendConfig, FrontendReport, HitPathMode, OverflowPolicy, ServeRequest,
+};
 pub use hashtable::{QueryHashTable, ScoredResult, SLOTS_PER_ENTRY};
 pub use ranking::RankingPolicy;
 pub use service::{CloudletError, CloudletService, ServeKind, ServeOutcome, ServeStats};

@@ -225,6 +225,15 @@ pub enum CloudletError {
         /// Human-readable description of the failure.
         detail: String,
     },
+    /// A bounded serving queue was full and the front-end's overflow
+    /// policy sheds load instead of parking it
+    /// ([`crate::frontend::OverflowPolicy::Reject`]).
+    QueueFull {
+        /// The lane whose queue was full.
+        lane: usize,
+        /// The queue depth that was exceeded.
+        depth: usize,
+    },
 }
 
 impl std::fmt::Display for CloudletError {
@@ -237,6 +246,9 @@ impl std::fmt::Display for CloudletError {
                 write!(f, "no such service group: {service}")
             }
             CloudletError::WorkerFailed { detail } => write!(f, "serving worker failed: {detail}"),
+            CloudletError::QueueFull { lane, depth } => {
+                write!(f, "serving queue full on lane {lane} (depth {depth})")
+            }
         }
     }
 }
@@ -274,6 +286,28 @@ pub trait CloudletService {
     /// reserved for requests the cloudlet cannot process at all — an
     /// unknown key, corrupted storage, a broken invariant.
     fn serve(&mut self, key: u64, now: SimInstant) -> Result<ServeOutcome, CloudletError>;
+
+    /// Read-only fast path: answers the request *only* if it is a local
+    /// hit that needs no mutation at all — no cache expansion, no click
+    /// logging, no LRU touch, no stats update. Returns `None` whenever
+    /// exclusive access is required, sending the caller to
+    /// [`CloudletService::serve`].
+    ///
+    /// This is what lets a serving front-end keep hits behind a shared
+    /// (`RwLock` read) lock: ~66% of traffic is hits (§4), and a hit on
+    /// a read-optimized cloudlet inspects state without changing it.
+    /// Because `&self` forbids updating `service_stats`, outcomes
+    /// returned here are counted by the *caller* (the front-end's lane
+    /// counters), not by the cloudlet; implementations must return
+    /// exactly the outcome `serve` would have produced for the same
+    /// request, minus any side effects.
+    ///
+    /// The default declines everything, which is always correct: every
+    /// cloudlet works unchanged through the exclusive path.
+    fn try_serve_hit(&self, key: u64, now: SimInstant) -> Option<ServeOutcome> {
+        let _ = (key, now);
+        None
+    }
 
     /// Counters accumulated by `serve` since construction.
     fn service_stats(&self) -> ServeStats;
@@ -395,6 +429,17 @@ mod tests {
     }
 
     #[test]
+    fn fast_path_declines_by_default() {
+        let svc = ToyService {
+            stats: ServeStats::default(),
+        };
+        // Even keys would hit through `serve`, but the default read-only
+        // fast path always punts to the exclusive path.
+        assert_eq!(svc.try_serve_hit(2, SimInstant::ZERO), None);
+        assert_eq!(svc.try_serve_hit(7, SimInstant::ZERO), None);
+    }
+
+    #[test]
     fn budget_demand_uses_capacity() {
         let svc = ToyService {
             stats: ServeStats::default(),
@@ -414,6 +459,9 @@ mod tests {
         assert!(CloudletError::UnknownService { service: 4 }
             .to_string()
             .contains("service group: 4"));
+        assert!(CloudletError::QueueFull { lane: 2, depth: 8 }
+            .to_string()
+            .contains("lane 2 (depth 8)"));
         use std::error::Error;
         assert!(wrapped.source().is_some());
         assert!(CloudletError::Storage {

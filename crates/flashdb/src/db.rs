@@ -1,5 +1,6 @@
 //! The N-file result database over simulated flash.
 
+use std::borrow::Borrow;
 use std::collections::HashMap;
 
 use bytes::{Buf, BufMut, BytesMut};
@@ -167,19 +168,22 @@ pub struct ResultDb {
 
 impl ResultDb {
     /// Builds a database from an initial record set, writing every file.
+    /// Records may be owned, borrowed, or shared (`Arc<ResultRecord>`) —
+    /// anything that borrows as a record serializes without cloning it.
     ///
     /// Records are deduplicated by hash (each result is stored once).
-    pub fn build(
-        records: impl IntoIterator<Item = ResultRecord>,
+    pub fn build<R: Borrow<ResultRecord>>(
+        records: impl IntoIterator<Item = R>,
         config: DbConfig,
         flash: &mut FlashStore,
     ) -> Self {
         config.validate();
-        let mut buckets: Vec<Vec<ResultRecord>> = vec![Vec::new(); config.n_files];
+        let mut buckets: Vec<Vec<R>> = (0..config.n_files).map(|_| Vec::new()).collect();
         let mut seen = std::collections::HashSet::new();
         for r in records {
-            if seen.insert(r.result_hash) {
-                buckets[(r.result_hash % config.n_files as u64) as usize].push(r);
+            let hash = r.borrow().result_hash;
+            if seen.insert(hash) {
+                buckets[(hash % config.n_files as u64) as usize].push(r);
             }
         }
         let mut files = Vec::with_capacity(config.n_files);
@@ -235,11 +239,16 @@ impl ResultDb {
         (result_hash % self.config.n_files as u64) as usize
     }
 
-    fn serialize_file(records: &[ResultRecord], capacity: usize, state: &mut FileState) -> Vec<u8> {
+    fn serialize_file<R: Borrow<ResultRecord>>(
+        records: &[R],
+        capacity: usize,
+        state: &mut FileState,
+    ) -> Vec<u8> {
         let header_bytes = HEADER_PREAMBLE_BYTES + capacity as u64 * HEADER_ENTRY_BYTES;
         let mut data = BytesMut::new();
         let mut entries = Vec::with_capacity(records.len());
         for r in records {
+            let r = r.borrow();
             let offset = header_bytes + data.len() as u64;
             let encoded = r.encode();
             entries.push((r.result_hash, offset as u32, encoded.len() as u32));
@@ -368,16 +377,19 @@ impl ResultDb {
 
     /// Inserts a record: appends it to its file and augments the header in
     /// place (Figure 13's add path). A record whose hash is already stored
-    /// is left untouched. Returns the simulated time spent.
+    /// is left untouched. Accepts owned, borrowed, or shared records; the
+    /// record is only cloned on the rare header-overflow rebuild. Returns
+    /// the simulated time spent.
     ///
     /// # Errors
     ///
     /// Propagates flash failures.
     pub fn insert(
         &mut self,
-        record: ResultRecord,
+        record: impl Borrow<ResultRecord>,
         flash: &mut FlashStore,
     ) -> Result<SimDuration, DbError> {
+        let record = record.borrow();
         let file_idx = self.file_for(record.result_hash);
         let name = Self::file_name(file_idx);
         if self.files[file_idx].index.contains_key(&record.result_hash) {
@@ -385,7 +397,7 @@ impl ResultDb {
         }
 
         if self.files[file_idx].index.len() == self.files[file_idx].capacity {
-            return self.rebuild_file_with(file_idx, Some(record), flash);
+            return self.rebuild_file_with(file_idx, Some(record.clone()), flash);
         }
 
         let encoded = record.encode();

@@ -30,15 +30,17 @@ impl DbPatch {
     ///
     /// Unresolvable hashes are skipped: the hash table may reference a
     /// record the server chose not to ship, which simply stays a miss.
-    pub fn from_bundle(
+    /// The source may yield owned, borrowed, or shared records; the
+    /// patch clones what it ships (it owns its wire payload).
+    pub fn from_bundle<R: std::borrow::Borrow<ResultRecord>>(
         bundle: &UpdateBundle,
-        mut record_source: impl FnMut(u64) -> Option<ResultRecord>,
+        mut record_source: impl FnMut(u64) -> Option<R>,
     ) -> Self {
         DbPatch {
             adds: bundle
                 .added_results
                 .iter()
-                .filter_map(|&h| record_source(h))
+                .filter_map(|&h| record_source(h).map(|r| r.borrow().clone()))
                 .collect(),
             removes: bundle.removed_results.clone(),
         }
@@ -94,7 +96,7 @@ pub fn apply_patch(
         if !db.contains(record.result_hash) {
             report.added += 1;
         }
-        report.flash_time += db.insert(record.clone(), flash)?;
+        report.flash_time += db.insert(record, flash)?;
     }
     if report.removed > 0 {
         let (_, t) = db.compact(flash)?;

@@ -173,6 +173,20 @@ impl PocketMaps {
         self.whole_state = true;
     }
 
+    /// Whether a [`PocketMaps::render_viewport`] at `center` would be an
+    /// instant render — all nine viewport tiles cached (or the whole
+    /// state installed) — without performing it. Read-only: the hot-spot
+    /// visit count and render statistics are untouched, so callers on a
+    /// shared-lock fast path must do their own accounting.
+    pub fn viewport_cached(&self, center: Position) -> bool {
+        self.whole_state
+            || self
+                .grid
+                .viewport(center)
+                .into_iter()
+                .all(|t| self.cached.contains(&t))
+    }
+
     /// Renders the 3×3 viewport at `center`, fetching missing tiles over
     /// the radio (they stay cached afterwards, budget permitting).
     pub fn render_viewport(&mut self, center: Position) -> ViewportRender {

@@ -47,6 +47,16 @@ impl CloudletService for PocketMaps {
         })
     }
 
+    /// A render whose nine viewport tiles are all cached is answered
+    /// read-only via [`PocketMaps::viewport_cached`]. The serve path's
+    /// side effects (hot-spot visit count, render counters) are
+    /// deferred to the caller's accounting — the front-end's lane
+    /// counters record the hit.
+    fn try_serve_hit(&self, key: u64, _now: SimInstant) -> Option<ServeOutcome> {
+        let center = self.grid().tile_center(TileId::from_key(key));
+        self.viewport_cached(center).then(ServeOutcome::hit)
+    }
+
     fn service_stats(&self) -> ServeStats {
         Self::project_stats(&self.stats())
     }

@@ -1,6 +1,7 @@
 //! The PocketSearch engine: cache + database + device, serving queries.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use cloudlet_core::cache::{CacheMode, PocketCache};
 use cloudlet_core::contentgen::CacheContents;
@@ -23,7 +24,9 @@ use crate::config::PocketSearchConfig;
 pub struct Catalog {
     query_hashes: Vec<u64>,
     result_hashes: Vec<u64>,
-    records: Vec<ResultRecord>,
+    /// Shared records: the serve hit path hands these out by `Arc`
+    /// clone instead of copying title/URL/snippet strings per hit.
+    records: Vec<Arc<ResultRecord>>,
     by_result_hash: HashMap<u64, ResultId>,
 }
 
@@ -42,7 +45,7 @@ impl Catalog {
             let hash = stable_hash64(r.url.as_bytes());
             let (title, display, snippet) = universe.record_text(r.id);
             result_hashes.push(hash);
-            records.push(ResultRecord::new(hash, title, display, snippet));
+            records.push(Arc::new(ResultRecord::new(hash, title, display, snippet)));
             by_result_hash.insert(hash, r.id);
         }
         Catalog {
@@ -63,16 +66,17 @@ impl Catalog {
         self.result_hashes[result.as_usize()]
     }
 
-    /// The database record of a result.
-    pub fn record(&self, result: ResultId) -> ResultRecord {
-        self.records[result.as_usize()].clone()
+    /// The database record of a result, shared — cloning the `Arc`, not
+    /// the record's strings.
+    pub fn record(&self, result: ResultId) -> Arc<ResultRecord> {
+        Arc::clone(&self.records[result.as_usize()])
     }
 
-    /// Resolves a result hash back to its record, if known.
-    pub fn record_by_hash(&self, result_hash: u64) -> Option<ResultRecord> {
+    /// Resolves a result hash back to its shared record, if known.
+    pub fn record_by_hash(&self, result_hash: u64) -> Option<Arc<ResultRecord>> {
         self.by_result_hash
             .get(&result_hash)
-            .map(|&id| self.records[id.as_usize()].clone())
+            .map(|&id| Arc::clone(&self.records[id.as_usize()]))
     }
 }
 
@@ -159,8 +163,9 @@ impl PocketSearch {
         cache.install_contents(contents);
         let mut device = Device::new(config.device, config.browser, config.flash);
 
-        // The database stores each distinct referenced result once.
-        let records: Vec<ResultRecord> = if config.mode == CacheMode::PersonalizationOnly {
+        // The database stores each distinct referenced result once; the
+        // catalog's shared records serialize without being cloned.
+        let records: Vec<Arc<ResultRecord>> = if config.mode == CacheMode::PersonalizationOnly {
             Vec::new()
         } else {
             cache
@@ -255,7 +260,7 @@ impl PocketSearch {
         &mut self,
         query_hash: u64,
         result_hash: u64,
-        record: impl FnOnce() -> ResultRecord,
+        record: impl FnOnce() -> Arc<ResultRecord>,
     ) {
         self.cache.record_click(query_hash, result_hash);
         // In community-only mode nothing was cached, so nothing to store.
@@ -391,7 +396,11 @@ mod tests {
         let hit = engine.serve(contents.pairs()[0].query_hash);
         let mut engine2 = PocketSearch::build(&contents, &catalog, PocketSearchConfig::default());
         let miss = engine2.serve(0xdead_beef);
-        let speedup = miss.report.total_time.ratio(hit.report.total_time).unwrap();
+        let speedup = miss
+            .report
+            .total_time
+            .ratio(hit.report.total_time)
+            .expect("hit time is nonzero");
         assert!((13.0..19.0).contains(&speedup), "speedup was {speedup:.1}");
     }
 
@@ -431,7 +440,7 @@ mod tests {
             .iter()
             .rev()
             .find(|p| engine.cache.lookup(catalog.query_hash(p.query)).is_none())
-            .unwrap()
+            .expect("tail pairs are uncached")
             .clone();
         let qh = catalog.query_hash(uncached.query);
         let db_before = engine.db().record_count();
@@ -464,12 +473,17 @@ mod tests {
             catalog.record(kept.result)
         });
         let server = UpdateServer::from_contents(&contents, RankingPolicy::default());
-        let report = engine.nightly_update(&server, &catalog).unwrap();
+        let report = engine
+            .nightly_update(&server, &catalog)
+            .expect("update cycle succeeds");
         assert!(report.upload_bytes > 0);
         // Fresh set identical to installed set: no database churn beyond
         // what the prune removed.
         assert_eq!(report.patch.added, 0);
-        engine.db().verify(engine.device.flash()).unwrap();
+        engine
+            .db()
+            .verify(engine.device.flash())
+            .expect("database is intact after the patch");
         // The kept pair still hits.
         assert!(engine.serve(kept.query_hash).hit);
     }
@@ -479,7 +493,9 @@ mod tests {
         let (_, contents, catalog) = setup();
         let mut engine = PocketSearch::build(&contents, &catalog, PocketSearchConfig::default());
         let server = UpdateServer::from_contents(&contents, RankingPolicy::default());
-        let report = engine.nightly_update(&server, &catalog).unwrap();
+        let report = engine
+            .nightly_update(&server, &catalog)
+            .expect("update cycle succeeds");
         // Scaled cache: the exchange must stay well under the paper's
         // ~1.5 MB bound for a cache ~6x larger.
         assert!(report.download_bytes < 1_500_000);
@@ -490,7 +506,7 @@ mod tests {
         let (g, _, catalog) = setup();
         let r = ResultId::new(5);
         let h = catalog.result_hash(r);
-        let rec = catalog.record_by_hash(h).unwrap();
+        let rec = catalog.record_by_hash(h).expect("known hash resolves");
         assert_eq!(rec.result_hash, h);
         assert_eq!(catalog.record(r), rec);
         assert!(catalog.record_by_hash(0x1234_5678).is_none());

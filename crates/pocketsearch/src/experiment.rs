@@ -261,20 +261,27 @@ mod tests {
     use super::*;
 
     #[test]
-    fn figure15_reproduces_the_headline_ratios() {
+    fn figure15_reproduces_the_headline_ratios() -> Result<(), String> {
         let points = figure15_points(SimDuration::from_millis(10));
         assert_eq!(points.len(), 4);
         assert_eq!(points[0].label, "PocketSearch");
-        let by_label = |l: &str| points.iter().find(|p| p.label == l).unwrap().clone();
-        let threeg = by_label("3G");
-        let edge = by_label("Edge");
-        let wifi = by_label("802.11g");
+        let by_label = |l: &str| {
+            points
+                .iter()
+                .find(|p| p.label == l)
+                .cloned()
+                .ok_or_else(|| format!("figure 15 has no '{l}' point"))
+        };
+        let threeg = by_label("3G")?;
+        let edge = by_label("Edge")?;
+        let wifi = by_label("802.11g")?;
         assert!((14.0..18.0).contains(&threeg.speedup_vs_pocket));
         assert!((22.0..28.0).contains(&edge.speedup_vs_pocket));
         assert!((5.5..8.5).contains(&wifi.speedup_vs_pocket));
         assert!((20.0..27.0).contains(&threeg.energy_ratio_vs_pocket));
         assert!((36.0..46.0).contains(&edge.energy_ratio_vs_pocket));
         assert!((9.0..13.0).contains(&wifi.energy_ratio_vs_pocket));
+        Ok(())
     }
 
     #[test]
@@ -290,8 +297,10 @@ mod tests {
             (35.0..45.0).contains(&radio_secs),
             "3G trace {radio_secs:.1}s"
         );
-        assert_eq!(pocket.peak_power().unwrap().milliwatts(), 900);
-        assert!(radio.peak_power().unwrap().milliwatts() > 1_200);
+        let pocket_peak = pocket.peak_power().expect("pocket trace is non-empty");
+        let radio_peak = radio.peak_power().expect("3G trace is non-empty");
+        assert_eq!(pocket_peak.milliwatts(), 900);
+        assert!(radio_peak.milliwatts() > 1_200);
     }
 
     #[test]

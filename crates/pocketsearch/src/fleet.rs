@@ -35,6 +35,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use cloudlet_core::coordination::{CloudletBudgets, CloudletId};
+use cloudlet_core::frontend::{Frontend, FrontendConfig, ServeRequest};
 use cloudlet_core::service::{CloudletError, CloudletService, ServeKind, ServeOutcome, ServeStats};
 use cloudlet_core::shard::ShardedTable;
 use flashdb::ResultDb;
@@ -75,6 +76,14 @@ impl FleetEvent {
     /// A search query event (service group 0, at the simulation epoch).
     pub fn search(user: u64, query_hash: u64) -> Self {
         FleetEvent::new(user, 0, query_hash, SimInstant::ZERO)
+    }
+}
+
+impl From<FleetEvent> for ServeRequest {
+    /// A fleet event is exactly a front-end request; the two layers
+    /// share routing semantics (`key % group_len` within `service`).
+    fn from(event: FleetEvent) -> Self {
+        ServeRequest::new(event.user, event.service, event.key, event.at)
     }
 }
 
@@ -366,6 +375,26 @@ impl CloudletService for SearchShard {
         Ok(outcome)
     }
 
+    /// Search hits are read-only end to end — the index lookup and the
+    /// flash fetch inspect shared state without touching it — so the
+    /// whole hit path runs under a shared lock. Misses (and index
+    /// entries whose records are gone from the database) decline to the
+    /// exclusive path, which also keeps miss accounting in one place.
+    fn try_serve_hit(&self, key: u64, _now: SimInstant) -> Option<ServeOutcome> {
+        let top: Vec<u64> = self
+            .table
+            .lookup(key)?
+            .iter()
+            .take(2)
+            .map(|r| r.result_hash)
+            .collect();
+        let (_, fetch_time) = self.db.get_many(top, &self.flash).ok()?;
+        Some(
+            ServeOutcome::hit()
+                .with_service(self.costs.lookup + fetch_time + self.costs.render_and_misc),
+        )
+    }
+
     fn service_stats(&self) -> ServeStats {
         self.stats
     }
@@ -373,6 +402,29 @@ impl CloudletService for SearchShard {
     fn cache_bytes(&self) -> u64 {
         self.table.read(self.shard).footprint_bytes() as u64
     }
+}
+
+/// Builds a pipelined [`Frontend`] of `n_shards` search lanes over one
+/// shared sharded index, the front-end analogue of
+/// [`ServeRouter::from_engine`]. Search lanes are replicas — the
+/// sharded table routes any key to its owning shard internally — so
+/// every front-end feature (coalescing, work stealing, the shared-lock
+/// hit path) is semantics-preserving here.
+///
+/// # Panics
+///
+/// Panics when `n_shards` is zero or the configuration is invalid.
+pub fn search_frontend(
+    engine: &PocketSearch,
+    n_shards: usize,
+    config: FrontendConfig,
+) -> (Arc<ShardedTable>, Frontend) {
+    let (table, shards) = SearchShard::fleet_of(engine, n_shards);
+    let lanes: Vec<Box<dyn CloudletService + Send + Sync>> = shards
+        .into_iter()
+        .map(|s| Box::new(s) as Box<dyn CloudletService + Send + Sync>)
+        .collect();
+    (table, Frontend::new(vec![lanes], config))
 }
 
 /// One serving lane: a cloudlet behind its own lock, with lock-free

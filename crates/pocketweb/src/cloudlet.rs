@@ -150,6 +150,23 @@ impl PocketWeb {
         self.realtime_set.iter().copied()
     }
 
+    /// Whether a [`PocketWeb::visit`] at `now` would be an instant hit,
+    /// without performing it. True when the cached copy is already at
+    /// the page's live version, or the page is real-time subscribed
+    /// (the push stream brings it to the live version before the visit
+    /// is answered, so the visit is instant either way).
+    ///
+    /// Read-only by construction: no LRU touch, no access count, and no
+    /// realtime byte charge — a subscribed page's pending delta is
+    /// billed by whichever mutating pass ([`PocketWeb::visit`] or
+    /// [`PocketWeb::sync_realtime`]) runs next, never dropped.
+    pub fn peek_instant(&self, world: &WebWorld, page: PageId, now: SimInstant) -> bool {
+        let Some(cached) = self.cached.get(&page) else {
+            return false;
+        };
+        cached.version == world.page(page).live_version(now) || self.realtime_set.contains(&page)
+    }
+
     /// Installs a page at its current live version without radio cost —
     /// the overnight bulk prefetch path (charging + WiFi, §3.2).
     pub fn prefetch(&mut self, world: &WebWorld, page: PageId, now: SimInstant) {

@@ -81,6 +81,21 @@ impl CloudletService for WebService {
         })
     }
 
+    /// A visit that [`PocketWeb::peek_instant`] certifies as instant is
+    /// answered read-only. The serve path's side effects (LRU touch,
+    /// access count, hit counter) are deferred: the front-end counts
+    /// the hit, and a subscribed page's pending realtime delta is
+    /// billed by the next mutating pass.
+    fn try_serve_hit(&self, key: u64, now: SimInstant) -> Option<ServeOutcome> {
+        let page = u32::try_from(key)
+            .ok()
+            .filter(|&p| (p as usize) < self.world.pages().len())
+            .map(PageId)?;
+        self.web
+            .peek_instant(&self.world, page, now)
+            .then(ServeOutcome::hit)
+    }
+
     /// Derived from the cloudlet's own counters, so maintenance passes
     /// (real-time pushes) show up in `radio_bytes` exactly as
     /// [`WebStats::radio_bytes`] reports them.

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerate the committed front-end benchmark artifact.
+#
+# Runs the test-scale `--study frontend` ablation (deterministic in the
+# seed — every number is simulated device time, so the JSON is identical
+# on any host) and writes BENCH_frontend.json at the repo root: sim qps,
+# hit ratio, p99 sim queue wait, and coalesced/stolen counts per config.
+#
+# Usage: scripts/bench.sh [--full]   (--full runs the paper-scale sweep;
+# the committed artifact is the test-scale one.)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scale_flag="--scale test"
+if [[ "${1:-}" == "--full" ]]; then
+  scale_flag="--scale full"
+fi
+
+cargo run --release -q -p pocket-bench --bin ablations -- \
+  --study frontend ${scale_flag} --seed 2011 --out BENCH_frontend.json
