@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! ablations [--study <id>] [--scale test|full] [--seed N] [--out <path>]
-//!   ids: lambda admission tiers freshness maps battery suggest radios offload all
+//!   ids: lambda admission tiers freshness maps battery suggest radios
+//!        offload fleet frontend arbiter all
 //! ```
 //!
 //! * `lambda` — §5.3's decay constant: hit rate and ranking quality
@@ -31,18 +32,29 @@
 //!   the PR 3 per-lane-mutex baseline, reporting simulated qps, p99
 //!   simulated queue wait, and the (invariant) hit ratio. With `--out`,
 //!   also writes the sweep as JSON (`BENCH_frontend.json`).
+//! * `arbiter` — §7's adaptive budget arbitration: two search cloudlets
+//!   under 90/10-skewed traffic that flips hot lanes mid-run, comparing
+//!   a static equal split of the index budget against the telemetry-fed
+//!   [`AdaptiveArbiter`] re-sizing each community cache every epoch.
+//!   With `--out`, also writes the run as JSON (`BENCH_arbiter.json`).
 
 use baselines::{CacheRequest, LfuQueryCache, LruQueryCache, QueryCache};
+use cloudlet_core::arbiter::{AdaptiveArbiter, ArbiterConfig, EpochObservation};
 use cloudlet_core::cache::CacheMode;
 use cloudlet_core::contentgen::{AdmissionPolicy, CacheContents};
+use cloudlet_core::coordination::{BudgetDemand, CloudletBudgets, CloudletId};
 use cloudlet_core::corpus::UniverseCorpus;
-use cloudlet_core::frontend::{FrontendConfig, HitPathMode, OverflowPolicy, ServeRequest};
+use cloudlet_core::frontend::{
+    FrontendConfig, HitPathMode, LaneTotals, OverflowPolicy, ServeRequest,
+};
 use cloudlet_core::hashtable::QueryHashTable;
 use cloudlet_core::ranking::RankingPolicy;
+use cloudlet_core::service::ServeStats;
 use mobsim::memory::{IndexPlacement, TieredMemory};
+use mobsim::time::SimInstant;
 use pocket_bench::{
-    fleet_workload, frontend_workload, full_scale_study_inputs, test_scale_study_inputs,
-    StudyInputs, Table,
+    fleet_workload, frontend_workload, full_scale_study_inputs, skewed_arbiter_workload,
+    test_scale_study_inputs, StudyInputs, Table,
 };
 use pocketsearch::config::PocketSearchConfig;
 use pocketsearch::engine::PocketSearch;
@@ -97,6 +109,7 @@ fn parse_args() -> Options {
             "offload",
             "fleet",
             "frontend",
+            "arbiter",
         ]
         .iter()
         .map(|s| (*s).to_owned())
@@ -130,6 +143,7 @@ fn main() {
             "offload" => offload_study(&opts),
             "fleet" => fleet_study(&opts),
             "frontend" => frontend_study(&opts),
+            "arbiter" => arbiter_study(&opts),
             other => eprintln!("unknown study {other:?}"),
         }
     }
@@ -710,17 +724,16 @@ fn frontend_study(opts: &Options) {
     let events = frontend_workload(&inputs, users, n_events, opts.seed ^ 0xf407);
     let requests: Vec<ServeRequest> = events.iter().map(|&e| e.into()).collect();
 
-    let parked = |queue_depth: usize,
-                  coalescing: bool,
-                  hit_path: HitPathMode,
-                  work_stealing: bool| FrontendConfig {
-        queue_depth,
-        coalescing,
-        hit_path,
-        overflow: OverflowPolicy::Park,
-        work_stealing,
-        ..FrontendConfig::default()
-    };
+    let parked =
+        |queue_depth: usize, coalescing: bool, hit_path: HitPathMode, work_stealing: bool| {
+            FrontendConfig::builder()
+                .queue_depth(queue_depth)
+                .coalescing(coalescing)
+                .hit_path(hit_path)
+                .overflow(OverflowPolicy::Park)
+                .work_stealing(work_stealing)
+                .build()
+        };
     let deep = usize::MAX;
     let sweep: Vec<(&'static str, FrontendConfig)> = vec![
         ("baseline (PR 3 router)", FrontendConfig::pr3_baseline()),
@@ -809,11 +822,10 @@ fn frontend_study(opts: &Options) {
         ],
     );
     for depth in [4usize, 16, 64, 256] {
-        let config = FrontendConfig {
-            overflow: OverflowPolicy::Reject,
-            queue_depth: depth,
-            ..FrontendConfig::default()
-        };
+        let config = FrontendConfig::builder()
+            .overflow(OverflowPolicy::Reject)
+            .queue_depth(depth)
+            .build();
         let (_, frontend) = search_frontend(&engine, shards, config);
         let batch = frontend.serve_batch(&requests).expect("frontend batch");
         let report = &batch.report;
@@ -884,5 +896,300 @@ fn frontend_json(
         n_events,
         shards,
         rows.join(",\n")
+    )
+}
+
+/// One epoch of the arbiter study, for one arm.
+struct ArbiterEpoch {
+    epoch: usize,
+    /// Which cloudlet the workload favoured this epoch.
+    hot: usize,
+    /// Bytes each cloudlet's cache was sized to while serving.
+    grants: [usize; 2],
+    /// Per-cloudlet `(hits, serves)` over the epoch.
+    counts: [(u64, u64); 2],
+    /// Water-filling priorities behind the *next* epoch's grants
+    /// (`None` for the static arm, which never re-arbitrates).
+    priorities: Option<[f64; 2]>,
+    /// Whether hysteresis held the previous priorities.
+    held: bool,
+}
+
+/// §7's adaptive budget arbitration, closed-loop: two search cloudlets
+/// share one index budget under 90/10-skewed traffic whose hot lane
+/// flips halfway through the run. The static arm splits the budget
+/// equally forever; the adaptive arm feeds each epoch's serve telemetry
+/// to an [`AdaptiveArbiter`] and re-sizes both community caches
+/// (`AdmissionPolicy::DramThreshold` at the granted bytes) for the next
+/// epoch. Aggregate hit ratio is the scoreboard: capacity that follows
+/// the traffic must strictly beat capacity that ignores it, even paying
+/// the EWMA lag at the flip.
+fn arbiter_study(opts: &Options) {
+    let inputs: StudyInputs = if opts.full_scale {
+        full_scale_study_inputs(opts.seed)
+    } else {
+        test_scale_study_inputs(opts.seed)
+    };
+    let corpus = UniverseCorpus::new(&inputs.universe);
+    // The contended budget: exactly one standard community cache, so an
+    // equal split truncates both caches while a skew-following split can
+    // keep the hot cloudlet's cache nearly whole.
+    let total = inputs.contents.dram_bytes();
+    let epochs = 8usize;
+    let n_events = if opts.full_scale { 50_000 } else { 4_000 };
+    const HOT_SHARE: f64 = 0.9;
+    /// Radio bytes charged per miss (Table 2's ~2 KB result page); only
+    /// the cross-cloudlet *ratio* matters to the arbiter's utility.
+    const MISS_RADIO_BYTES: u64 = 2_000;
+    let schedule =
+        skewed_arbiter_workload(&inputs, n_events, epochs, HOT_SHARE, opts.seed ^ 0xa6b1);
+
+    // The uniform-telemetry anchor, asserted here so the committed
+    // BENCH_arbiter.json is witness that the adaptive path degenerates
+    // to the PR 3 equal-priority allocation bit for bit.
+    {
+        let mut anchor = AdaptiveArbiter::new(ArbiterConfig::new(total));
+        let stats = ServeStats {
+            serves: 100,
+            hits: 60,
+            misses: 40,
+            radio_bytes: 40 * MISS_RADIO_BYTES,
+            ..ServeStats::default()
+        };
+        let uniform = anchor.run_epoch(
+            SimInstant::from_micros(1),
+            &[
+                EpochObservation::new(CloudletId(0), LaneTotals::default(), stats),
+                EpochObservation::new(CloudletId(1), LaneTotals::default(), stats),
+            ],
+            |cloudlet, ctx| BudgetDemand {
+                cloudlet,
+                demand_bytes: total,
+                priority: ctx.priority,
+            },
+        );
+        let mut reference = CloudletBudgets::new(total);
+        for id in 0..2 {
+            reference.register(BudgetDemand {
+                cloudlet: CloudletId(id),
+                demand_bytes: total,
+                priority: 1.0,
+            });
+        }
+        assert_eq!(
+            uniform.allocations(),
+            reference.allocate(),
+            "uniform telemetry must reproduce the equal-priority allocation exactly"
+        );
+    }
+
+    // Serves one epoch's keys with a community cache regenerated at the
+    // granted byte budget, returning the serve-path telemetry.
+    let serve = |grant: usize, keys: &[u64]| -> ServeStats {
+        let contents = CacheContents::generate(
+            &inputs.triplets,
+            &corpus,
+            AdmissionPolicy::DramThreshold { bytes: grant },
+        );
+        let mut engine =
+            PocketSearch::build(&contents, &inputs.catalog, PocketSearchConfig::default());
+        let mut stats = ServeStats::default();
+        for &key in keys {
+            stats.serves += 1;
+            if engine.serve(key).hit {
+                stats.hits += 1;
+            } else {
+                stats.misses += 1;
+                stats.radio_bytes += MISS_RADIO_BYTES;
+            }
+        }
+        stats
+    };
+
+    let equal_split = [total / 2, total - total / 2];
+    let mut rows: Vec<(ArbiterEpoch, ArbiterEpoch)> = Vec::with_capacity(epochs);
+    let mut arbiter = AdaptiveArbiter::new(ArbiterConfig::new(total));
+    let mut adaptive_grants = equal_split;
+    let mut static_counts = (0u64, 0u64);
+    let mut adaptive_counts = (0u64, 0u64);
+    for (epoch, keys) in schedule.iter().enumerate() {
+        let hot = usize::from(epoch >= epochs / 2);
+
+        let static_stats = [
+            serve(equal_split[0], &keys[0]),
+            serve(equal_split[1], &keys[1]),
+        ];
+        let adaptive_stats = [
+            serve(adaptive_grants[0], &keys[0]),
+            serve(adaptive_grants[1], &keys[1]),
+        ];
+        for c in 0..2 {
+            static_counts.0 += static_stats[c].hits;
+            static_counts.1 += static_stats[c].serves;
+            adaptive_counts.0 += adaptive_stats[c].hits;
+            adaptive_counts.1 += adaptive_stats[c].serves;
+        }
+
+        // Close the loop: this epoch's telemetry prices the next one.
+        let decision = arbiter.run_epoch(
+            SimInstant::from_micros((epoch as u64 + 1) * 60_000_000),
+            &[
+                EpochObservation::new(CloudletId(0), LaneTotals::default(), adaptive_stats[0]),
+                EpochObservation::new(CloudletId(1), LaneTotals::default(), adaptive_stats[1]),
+            ],
+            |cloudlet, ctx| BudgetDemand {
+                cloudlet,
+                demand_bytes: total,
+                priority: ctx.priority,
+            },
+        );
+
+        rows.push((
+            ArbiterEpoch {
+                epoch,
+                hot,
+                grants: equal_split,
+                counts: [
+                    (static_stats[0].hits, static_stats[0].serves),
+                    (static_stats[1].hits, static_stats[1].serves),
+                ],
+                priorities: None,
+                held: false,
+            },
+            ArbiterEpoch {
+                epoch,
+                hot,
+                grants: adaptive_grants,
+                counts: [
+                    (adaptive_stats[0].hits, adaptive_stats[0].serves),
+                    (adaptive_stats[1].hits, adaptive_stats[1].serves),
+                ],
+                priorities: Some([decision.entries[0].priority, decision.entries[1].priority]),
+                held: decision.held,
+            },
+        ));
+        adaptive_grants = [
+            decision.granted(CloudletId(0)).expect("cloudlet 0 decided"),
+            decision.granted(CloudletId(1)).expect("cloudlet 1 decided"),
+        ];
+    }
+
+    let ratio = |(hits, serves): (u64, u64)| hits as f64 / serves.max(1) as f64;
+    let static_ratio = ratio(static_counts);
+    let adaptive_ratio = ratio(adaptive_counts);
+
+    let mut table = Table::new(
+        format!(
+            "Ablation: adaptive budget arbitration (§7 closed-loop, {n_events} events, \
+             {epochs} epochs, {:.0}/{:.0} skew flipping at half-time, {} KB budget)",
+            HOT_SHARE * 100.0,
+            (1.0 - HOT_SHARE) * 100.0,
+            total / 1_000
+        ),
+        &[
+            "epoch",
+            "hot lane",
+            "static hit rate",
+            "adaptive hit rate",
+            "adaptive grant 0",
+            "adaptive grant 1",
+            "held",
+        ],
+    );
+    for (st, ad) in &rows {
+        let arm_ratio = |e: &ArbiterEpoch| {
+            let hits = e.counts[0].0 + e.counts[1].0;
+            let serves = e.counts[0].1 + e.counts[1].1;
+            ratio((hits, serves))
+        };
+        table.row(&[
+            st.epoch.to_string(),
+            ad.hot.to_string(),
+            format!("{:.4}", arm_ratio(st)),
+            format!("{:.4}", arm_ratio(ad)),
+            format!("{} KB", ad.grants[0] / 1_000),
+            format!("{} KB", ad.grants[1] / 1_000),
+            if ad.held { "yes" } else { "no" }.to_owned(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "aggregate hit ratio: static {static_ratio:.4} vs adaptive {adaptive_ratio:.4}. \
+         capacity follows the hot lane\n(priorities re-derived from each epoch's telemetry), \
+         dips for one epoch at the flip\nwhile the EWMA crosses, then recovers; the floor keeps \
+         the cold lane serving.\n"
+    );
+    assert!(
+        adaptive_ratio > static_ratio,
+        "adaptive arbitration must beat the static equal split: {adaptive_ratio:.4} vs {static_ratio:.4}"
+    );
+
+    if let Some(path) = &opts.out {
+        let json = arbiter_json(
+            opts,
+            total,
+            n_events,
+            HOT_SHARE,
+            static_ratio,
+            adaptive_ratio,
+            &rows,
+        );
+        std::fs::write(path, json).expect("write --out file");
+        println!("wrote {path}\n");
+    }
+}
+
+/// Hand-rolled JSON for the arbiter run (same no-dependency schema
+/// style as [`frontend_json`]).
+fn arbiter_json(
+    opts: &Options,
+    total: usize,
+    n_events: usize,
+    hot_share: f64,
+    static_ratio: f64,
+    adaptive_ratio: f64,
+    rows: &[(ArbiterEpoch, ArbiterEpoch)],
+) -> String {
+    let epochs: Vec<String> = rows
+        .iter()
+        .map(|(st, ad)| {
+            let priorities = ad.priorities.expect("adaptive rows carry priorities");
+            format!(
+                "    {{\n      \"epoch\": {},\n      \"hot\": {},\n      \
+                 \"static\": {{\"hits\": [{}, {}], \"serves\": [{}, {}]}},\n      \
+                 \"adaptive\": {{\"hits\": [{}, {}], \"serves\": [{}, {}], \
+                 \"grants\": [{}, {}], \"priorities\": [{:.6}, {:.6}], \"held\": {}}}\n    }}",
+                st.epoch,
+                ad.hot,
+                st.counts[0].0,
+                st.counts[1].0,
+                st.counts[0].1,
+                st.counts[1].1,
+                ad.counts[0].0,
+                ad.counts[1].0,
+                ad.counts[0].1,
+                ad.counts[1].1,
+                ad.grants[0],
+                ad.grants[1],
+                priorities[0],
+                priorities[1],
+                ad.held,
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"arbiter\",\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \
+         \"total_bytes\": {},\n  \"events\": {},\n  \"hot_share\": {:.2},\n  \
+         \"workload\": \"two-segment Zipf, 90/10 skew flipping at half-time\",\n  \
+         \"static_hit_ratio\": {:.6},\n  \"adaptive_hit_ratio\": {:.6},\n  \
+         \"epochs\": [\n{}\n  ]\n}}\n",
+        if opts.full_scale { "full" } else { "test" },
+        opts.seed,
+        total,
+        n_events,
+        hot_share,
+        static_ratio,
+        adaptive_ratio,
+        epochs.join(",\n")
     )
 }

@@ -134,6 +134,47 @@ pub fn frontend_workload(
         .collect()
 }
 
+/// A skewed two-cloudlet serving schedule for the arbiter study: the
+/// [`fleet_workload`] stream is cut into `epochs` equal slices and each
+/// event is routed to the currently-hot cloudlet with probability
+/// `hot_share` (the other cloudlet gets the rest). Cloudlet 0 is hot for
+/// the first half of the epochs, then the skew flips to cloudlet 1 —
+/// the shape an adaptive arbiter must first exploit and then chase.
+/// Returns one `[keys_for_cloudlet_0, keys_for_cloudlet_1]` pair per
+/// epoch. Deterministic in `seed`.
+pub fn skewed_arbiter_workload(
+    inputs: &StudyInputs,
+    n_events: usize,
+    epochs: usize,
+    hot_share: f64,
+    seed: u64,
+) -> Vec<[Vec<u64>; 2]> {
+    assert!(epochs > 0, "the schedule needs at least one epoch");
+    assert!(
+        (0.0..=1.0).contains(&hot_share),
+        "hot_share is a probability"
+    );
+    let events = fleet_workload(inputs, 64, n_events, seed);
+    let per_epoch = (n_events / epochs).max(1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0051_e3ed);
+    (0..epochs)
+        .map(|epoch| {
+            let hot = usize::from(epoch >= epochs / 2);
+            let slice = &events[epoch * per_epoch..((epoch + 1) * per_epoch).min(events.len())];
+            let mut keys: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
+            for event in slice {
+                let cloudlet = if rng.random_range(0.0..1.0) < hot_share {
+                    hot
+                } else {
+                    1 - hot
+                };
+                keys[cloudlet].push(event.key);
+            }
+            keys
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +194,27 @@ mod tests {
             .catalog
             .record_by_hash(inputs.catalog.result_hash(last_result))
             .is_some());
+    }
+
+    #[test]
+    fn skewed_schedule_is_skewed_then_flips() {
+        let inputs = test_scale_study_inputs(4);
+        let schedule = skewed_arbiter_workload(&inputs, 2_000, 4, 0.9, 7);
+        assert_eq!(schedule.len(), 4);
+        for (epoch, [a, b]) in schedule.iter().enumerate() {
+            let (hot, cold) = if epoch < 2 { (a, b) } else { (b, a) };
+            assert!(
+                hot.len() > 3 * cold.len(),
+                "epoch {epoch}: hot {} vs cold {}",
+                hot.len(),
+                cold.len()
+            );
+        }
+        assert_eq!(
+            schedule,
+            skewed_arbiter_workload(&inputs, 2_000, 4, 0.9, 7),
+            "the schedule is deterministic in the seed"
+        );
     }
 
     #[test]

@@ -42,6 +42,46 @@ pub struct BudgetDemand {
 /// Priority-weighted, demand-capped division of a byte budget
 /// (water-filling): no cloudlet receives more than it asked for, and
 /// leftover capacity is redistributed by priority.
+///
+/// Demands can be registered once ([`CloudletBudgets::register`]) or
+/// updated in place epoch after epoch ([`CloudletBudgets::set_demand`])
+/// without rebuilding the arbiter; [`CloudletBudgets::allocate`] takes
+/// `&self`, so one arbiter serves any number of allocations.
+///
+/// # Water-filling invariants
+///
+/// For any demand set, [`CloudletBudgets::allocate`] guarantees:
+///
+/// 1. **Demand cap** — no cloudlet is granted more than its
+///    `demand_bytes`.
+/// 2. **Budget cap** — the grants sum to at most `total_bytes`.
+/// 3. **Work conservation** — the grants sum to exactly
+///    `min(total_bytes, Σ demand_bytes)` up to integer rounding, and
+///    any rounding remainder goes to the highest-priority unsatisfied
+///    demand.
+/// 4. **Priority proportionality** — while contended, unsatisfied
+///    cloudlets receive budget in proportion to their priorities;
+///    cloudlets whose demand is met early drop out and their share is
+///    re-divided among the rest (the "water" keeps rising).
+///
+/// # Example
+///
+/// ```
+/// use cloudlet_core::coordination::{BudgetDemand, CloudletBudgets, CloudletId};
+///
+/// let (search, ads) = (CloudletId(0), CloudletId(1));
+/// let mut budgets = CloudletBudgets::new(1_000);
+/// budgets.set_demand(BudgetDemand { cloudlet: search, demand_bytes: 900, priority: 1.0 });
+/// budgets.set_demand(BudgetDemand { cloudlet: ads, demand_bytes: 900, priority: 1.0 });
+/// let equal = budgets.allocate();
+/// assert_eq!(equal[&search], 500);
+///
+/// // Next epoch: update one demand in place and re-allocate.
+/// budgets.set_demand(BudgetDemand { cloudlet: ads, demand_bytes: 900, priority: 3.0 });
+/// let skewed = budgets.allocate();
+/// assert!(skewed[&ads] > skewed[&search]);
+/// assert_eq!(skewed[&ads] + skewed[&search], 1_000);
+/// ```
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CloudletBudgets {
     total_bytes: usize,
@@ -76,7 +116,45 @@ impl CloudletBudgets {
         self.demands.push(demand);
     }
 
-    /// Computes the allocation.
+    /// Updates a cloudlet's demand in place, or registers it if new —
+    /// the per-epoch surface of the adaptive arbiter
+    /// ([`crate::arbiter::AdaptiveArbiter`]), which re-prices every
+    /// cloudlet each epoch without rebuilding the arbiter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `priority` is not positive and finite.
+    pub fn set_demand(&mut self, demand: BudgetDemand) {
+        assert!(
+            demand.priority.is_finite() && demand.priority > 0.0,
+            "priority must be positive and finite"
+        );
+        match self
+            .demands
+            .iter_mut()
+            .find(|d| d.cloudlet == demand.cloudlet)
+        {
+            Some(existing) => *existing = demand,
+            None => self.demands.push(demand),
+        }
+    }
+
+    /// Drops every registered demand, keeping the budget.
+    pub fn clear(&mut self) {
+        self.demands.clear();
+    }
+
+    /// The registered demands, in registration order.
+    pub fn demands(&self) -> &[BudgetDemand] {
+        &self.demands
+    }
+
+    /// The budget being divided.
+    pub fn total_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    /// Computes the allocation (see the type-level invariants).
     pub fn allocate(&self) -> BTreeMap<CloudletId, usize> {
         let mut granted: BTreeMap<CloudletId, usize> =
             self.demands.iter().map(|d| (d.cloudlet, 0)).collect();
@@ -280,6 +358,46 @@ mod tests {
         };
         b.register(d);
         b.register(d);
+    }
+
+    #[test]
+    fn set_demand_upserts_in_place() {
+        let mut b = CloudletBudgets::new(1_000);
+        b.register(BudgetDemand {
+            cloudlet: SEARCH,
+            demand_bytes: 1_000,
+            priority: 1.0,
+        });
+        b.set_demand(BudgetDemand {
+            cloudlet: ADS,
+            demand_bytes: 1_000,
+            priority: 1.0,
+        });
+        assert_eq!(b.demands().len(), 2);
+        assert_eq!(b.total_bytes(), 1_000);
+        assert_eq!(b.allocate()[&SEARCH], 500);
+        // Updating does not duplicate and the new priority takes effect.
+        b.set_demand(BudgetDemand {
+            cloudlet: SEARCH,
+            demand_bytes: 1_000,
+            priority: 3.0,
+        });
+        assert_eq!(b.demands().len(), 2);
+        let a = b.allocate();
+        assert!(a[&SEARCH] > a[&ADS]);
+        b.clear();
+        assert!(b.demands().is_empty());
+        assert!(b.allocate().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn set_demand_rejects_bad_priorities() {
+        CloudletBudgets::new(100).set_demand(BudgetDemand {
+            cloudlet: SEARCH,
+            demand_bytes: 10,
+            priority: -1.0,
+        });
     }
 
     #[test]

@@ -58,6 +58,8 @@ use std::sync::{PoisonError, RwLock};
 
 use mobsim::time::{SimDuration, SimInstant};
 
+use crate::arbiter::{AdaptiveArbiter, BudgetDecision, EpochObservation};
+use crate::coordination::CloudletId;
 use crate::service::{CloudletError, CloudletService, ServeKind, ServeOutcome, ServeStats};
 
 /// One request to the front-end: a user asking one service for one key
@@ -155,6 +157,22 @@ impl Default for FrontendConfig {
 }
 
 impl FrontendConfig {
+    /// Starts a builder seeded with [`FrontendConfig::default`]. The
+    /// builder is the supported construction surface — it validates on
+    /// [`FrontendConfigBuilder::build`] instead of at first use, so a
+    /// bad configuration fails where it was written.
+    pub fn builder() -> FrontendConfigBuilder {
+        FrontendConfigBuilder {
+            config: FrontendConfig::default(),
+        }
+    }
+
+    /// Re-opens this configuration as a builder, for deriving variants
+    /// from a preset (`FrontendConfig::pr3_baseline().to_builder()...`).
+    pub fn to_builder(self) -> FrontendConfigBuilder {
+        FrontendConfigBuilder { config: self }
+    }
+
     /// The PR 3 router reproduced inside the front-end: exclusive locks
     /// for everything, no coalescing, no stealing, and a queue deep
     /// enough that nothing is ever shed or parked. Under this config a
@@ -177,6 +195,89 @@ impl FrontendConfig {
         assert!(self.queue_depth > 0, "queue depth must be at least 1");
         assert!(self.coalesce_window > 0, "coalesce window must be >= 1");
         assert!(self.read_workers > 0, "the read pool needs a worker");
+    }
+}
+
+/// Fluent construction of a [`FrontendConfig`].
+///
+/// Seeded from [`FrontendConfig::builder`] (defaults) or
+/// [`FrontendConfig::to_builder`] (a preset); every setter replaces one
+/// field and [`FrontendConfigBuilder::build`] validates the result.
+///
+/// ```
+/// use cloudlet_core::frontend::{FrontendConfig, OverflowPolicy};
+///
+/// let config = FrontendConfig::builder()
+///     .queue_depth(8)
+///     .coalescing(false)
+///     .overflow(OverflowPolicy::Reject)
+///     .build();
+/// assert_eq!(config.queue_depth, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontendConfigBuilder {
+    config: FrontendConfig,
+}
+
+impl FrontendConfigBuilder {
+    /// Sets the bounded depth of each lane's exclusive serve queue.
+    #[must_use]
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.config.queue_depth = depth;
+        self
+    }
+
+    /// Enables or disables duplicate-key coalescing.
+    #[must_use]
+    pub fn coalescing(mut self, coalescing: bool) -> Self {
+        self.config.coalescing = coalescing;
+        self
+    }
+
+    /// Sets the coalescing window length, in requests.
+    #[must_use]
+    pub fn coalesce_window(mut self, window: usize) -> Self {
+        self.config.coalesce_window = window;
+        self
+    }
+
+    /// Sets the hit-path mode.
+    #[must_use]
+    pub fn hit_path(mut self, hit_path: HitPathMode) -> Self {
+        self.config.hit_path = hit_path;
+        self
+    }
+
+    /// Sets the overflow policy for full lane queues.
+    #[must_use]
+    pub fn overflow(mut self, overflow: OverflowPolicy) -> Self {
+        self.config.overflow = overflow;
+        self
+    }
+
+    /// Enables or disables stealing to sibling lanes.
+    #[must_use]
+    pub fn work_stealing(mut self, work_stealing: bool) -> Self {
+        self.config.work_stealing = work_stealing;
+        self
+    }
+
+    /// Sets the width of the shared-read worker pool.
+    #[must_use]
+    pub fn read_workers(mut self, read_workers: usize) -> Self {
+        self.config.read_workers = read_workers;
+        self
+    }
+
+    /// Finishes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid (zero queue depth,
+    /// window, or read pool).
+    pub fn build(self) -> FrontendConfig {
+        self.config.validate();
+        self.config
     }
 }
 
@@ -275,6 +376,37 @@ pub struct LaneTotals {
 }
 
 impl LaneTotals {
+    /// Sums a set of lane totals into one aggregate. (The old free
+    /// function [`aggregate`] forwards here and is deprecated.)
+    pub fn aggregate(lanes: &[LaneTotals]) -> LaneTotals {
+        let mut total = LaneTotals::default();
+        for lane in lanes {
+            total.merge(lane);
+        }
+        total
+    }
+
+    /// The counters accumulated since `earlier` was snapshotted, as a
+    /// field-wise saturating difference — how the adaptive arbiter
+    /// turns cumulative [`Frontend::telemetry`] snapshots into
+    /// per-epoch observations.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &LaneTotals) -> LaneTotals {
+        LaneTotals {
+            events: self.events.saturating_sub(earlier.events),
+            hits: self.hits.saturating_sub(earlier.hits),
+            stale_hits: self.stale_hits.saturating_sub(earlier.stale_hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            skipped: self.skipped.saturating_sub(earlier.skipped),
+            errors: self.errors.saturating_sub(earlier.errors),
+            rejected: self.rejected.saturating_sub(earlier.rejected),
+            coalesced: self.coalesced.saturating_sub(earlier.coalesced),
+            stolen: self.stolen.saturating_sub(earlier.stolen),
+            radio_bytes: self.radio_bytes.saturating_sub(earlier.radio_bytes),
+            busy: self.busy.saturating_sub(earlier.busy),
+        }
+    }
+
     fn merge(&mut self, other: &LaneTotals) {
         self.events += other.events;
         self.hits += other.hits;
@@ -442,6 +574,56 @@ pub struct FrontendBatch {
     pub report: FrontendReport,
 }
 
+/// One lane's unified telemetry: the front-end's own counters plus the
+/// cloudlet's serve-path statistics, side by side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneTelemetry {
+    /// Global lane index.
+    pub lane: usize,
+    /// The cloudlet's stable name.
+    pub name: &'static str,
+    /// Cumulative front-end totals since construction (the
+    /// authoritative view — it counts fast-path hits).
+    pub totals: LaneTotals,
+    /// Serve-path statistics straight from the cloudlet. Fast-path hits
+    /// are *not* in here: `try_serve_hit` cannot touch the cloudlet's
+    /// own counters, so under [`HitPathMode::SharedRead`] these reflect
+    /// only exclusive serves.
+    pub stats: ServeStats,
+}
+
+/// The front-end's whole telemetry surface in one snapshot, replacing
+/// the split `snapshot()` / `lane_stats()` accessors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontendTelemetry {
+    /// Per-lane telemetry, indexed by global lane index.
+    pub lanes: Vec<LaneTelemetry>,
+}
+
+impl FrontendTelemetry {
+    /// All lanes summed into one [`LaneTotals`].
+    pub fn aggregate(&self) -> LaneTotals {
+        let totals: Vec<LaneTotals> = self.lanes.iter().map(|l| l.totals).collect();
+        LaneTotals::aggregate(&totals)
+    }
+
+    /// Requests shed with [`CloudletError::QueueFull`], across lanes.
+    pub fn shed(&self) -> u64 {
+        self.lanes.iter().map(|l| l.totals.rejected).sum()
+    }
+
+    /// Just the per-lane front-end totals (the old `snapshot()` shape).
+    pub fn lane_totals(&self) -> Vec<LaneTotals> {
+        self.lanes.iter().map(|l| l.totals).collect()
+    }
+
+    /// Just the per-lane serve-path stats (the old `lane_stats()`
+    /// shape).
+    pub fn lane_stats(&self) -> Vec<ServeStats> {
+        self.lanes.iter().map(|l| l.stats).collect()
+    }
+}
+
 /// One serving lane: a cloudlet behind a read/write lock (shared for
 /// fast-path hits, exclusive for everything else), with lock-free
 /// counters beside it.
@@ -570,9 +752,33 @@ impl Frontend {
             .name()
     }
 
+    /// One unified snapshot of everything the front-end measures:
+    /// per-lane front-end totals *and* serve-path stats, with aggregate
+    /// and shed-count accessors on the result. Supersedes the split
+    /// [`Frontend::snapshot`] / [`Frontend::lane_stats`] pair.
+    pub fn telemetry(&self) -> FrontendTelemetry {
+        FrontendTelemetry {
+            lanes: self
+                .lanes
+                .iter()
+                .enumerate()
+                .map(|(lane, l)| {
+                    let service = l.service.read().unwrap_or_else(PoisonError::into_inner);
+                    LaneTelemetry {
+                        lane,
+                        name: service.name(),
+                        totals: l.counters.snapshot(),
+                        stats: service.service_stats(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
     /// Cumulative per-lane front-end totals since construction.
+    #[deprecated(since = "0.1.0", note = "use `telemetry().lane_totals()` instead")]
     pub fn snapshot(&self) -> Vec<LaneTotals> {
-        self.lanes.iter().map(|l| l.counters.snapshot()).collect()
+        self.telemetry().lane_totals()
     }
 
     /// Per-lane serve-path statistics straight from each cloudlet.
@@ -580,17 +786,45 @@ impl Frontend {
     /// Fast-path hits are *not* in here — `try_serve_hit` cannot touch
     /// the cloudlet's own counters — so under
     /// [`HitPathMode::SharedRead`] these reflect only exclusive serves;
-    /// [`Frontend::snapshot`] is the authoritative view.
+    /// the front-end totals are the authoritative view.
+    #[deprecated(since = "0.1.0", note = "use `telemetry().lane_stats()` instead")]
     pub fn lane_stats(&self) -> Vec<ServeStats> {
-        self.lanes
+        self.telemetry().lane_stats()
+    }
+
+    /// Runs one adaptive arbitration epoch if `now` has crossed the
+    /// arbiter's next epoch boundary; returns `None` between epochs.
+    ///
+    /// This is the deterministic simulated-time schedule the module
+    /// docs promise: the batch loop calls `arbitrate` with its current
+    /// simulated instant (e.g. each batch's last completion), the
+    /// arbiter diffs the cumulative [`Frontend::telemetry`] snapshot
+    /// into per-epoch deltas, and every lane's
+    /// [`CloudletService::budget_demand`] is consulted under its read
+    /// lock with a [`crate::arbiter::DemandContext`] carrying that
+    /// lane's telemetry. Lane `i` is identified as `CloudletId(i)`,
+    /// the same mapping `ServeRouter::budget_allocation` uses.
+    pub fn arbitrate(
+        &self,
+        arbiter: &mut AdaptiveArbiter,
+        now: SimInstant,
+    ) -> Option<BudgetDecision> {
+        if !arbiter.epoch_due(now) {
+            return None;
+        }
+        let telemetry = self.telemetry();
+        let observations: Vec<EpochObservation> = telemetry
+            .lanes
             .iter()
-            .map(|l| {
-                l.service
-                    .read()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .service_stats()
-            })
-            .collect()
+            .map(|l| EpochObservation::new(CloudletId(l.lane as u32), l.totals, l.stats))
+            .collect();
+        Some(arbiter.observe_cumulative(now, &observations, |id, ctx| {
+            self.lanes[id.0 as usize]
+                .service
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .budget_demand(id, ctx)
+        }))
     }
 
     /// The home lane a request routes to before stealing.
@@ -948,12 +1182,12 @@ fn percentile(sorted: &[u64], q: f64) -> SimDuration {
 }
 
 /// Aggregates a report's lanes into one [`LaneTotals`].
+///
+/// Thin forwarder kept for one release; the method is the supported
+/// surface.
+#[deprecated(since = "0.1.0", note = "use `LaneTotals::aggregate` instead")]
 pub fn aggregate(lanes: &[LaneTotals]) -> LaneTotals {
-    let mut total = LaneTotals::default();
-    for lane in lanes {
-        total.merge(lane);
-    }
-    total
+    LaneTotals::aggregate(lanes)
 }
 
 #[cfg(test)]
@@ -1064,8 +1298,12 @@ mod tests {
         assert!(batch.served[1].fast_path && batch.served[2].fast_path);
         assert_eq!(batch.report.hits(), 2);
         // The exclusive lane only saw the miss.
-        assert_eq!(fe.lane_stats()[0].serves, 1);
-        assert_eq!(fe.snapshot()[0].events, 3, "front-end counters see all");
+        let telemetry = fe.telemetry();
+        assert_eq!(telemetry.lanes[0].stats.serves, 1);
+        assert_eq!(
+            telemetry.lanes[0].totals.events, 3,
+            "front-end counters see all"
+        );
     }
 
     #[test]
@@ -1086,7 +1324,7 @@ mod tests {
         assert!(batch.served[3].coalesced);
         assert_eq!(batch.served[3].queue_wait, SimDuration::from_secs(1));
         // The cloudlet itself served exactly once.
-        assert_eq!(fe.lane_stats()[0].serves, 1);
+        assert_eq!(fe.telemetry().lanes[0].stats.serves, 1);
     }
 
     #[test]
@@ -1129,7 +1367,7 @@ mod tests {
         );
         assert!(batch.served[4].outcome.is_ok(), "drained queue recovers");
         // Rejected requests were never served by the cloudlet.
-        assert_eq!(fe.lane_stats()[0].serves, 3);
+        assert_eq!(fe.telemetry().lanes[0].stats.serves, 3);
         // Determinism: the same stream sheds the same requests.
         let again = frontend(1, config).serve_batch(&requests).expect("batch");
         let shed = |b: &FrontendBatch| -> Vec<bool> {
@@ -1204,7 +1442,7 @@ mod tests {
             fe.serve_one(bad).expect_err("unknown group"),
             CloudletError::UnknownService { service: 3 }
         );
-        assert_eq!(fe.snapshot()[0].events, 0, "nothing was served");
+        assert_eq!(fe.telemetry().aggregate().events, 0, "nothing was served");
     }
 
     #[test]
@@ -1219,7 +1457,7 @@ mod tests {
             .expect("toy serve");
         assert!(!miss.fast_path && !miss.hit());
         assert_eq!(fe.lane_name(0), "toy");
-        let totals = aggregate(&fe.snapshot());
+        let totals = fe.telemetry().aggregate();
         assert_eq!((totals.events, totals.hits, totals.misses), (2, 1, 1));
     }
 
@@ -1229,5 +1467,94 @@ mod tests {
         assert_eq!(percentile(&waits, 0.50), SimDuration::from_micros(50));
         assert_eq!(percentile(&waits, 0.99), SimDuration::from_micros(99));
         assert_eq!(percentile(&[], 0.99), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn builder_defaults_match_default_exactly() {
+        assert_eq!(
+            FrontendConfig::builder().build(),
+            FrontendConfig::default(),
+            "the builder must not silently change Default semantics"
+        );
+        let config = FrontendConfig::builder()
+            .queue_depth(8)
+            .coalescing(false)
+            .coalesce_window(16)
+            .hit_path(HitPathMode::Exclusive)
+            .overflow(OverflowPolicy::Reject)
+            .work_stealing(true)
+            .read_workers(2)
+            .build();
+        assert_eq!(
+            config,
+            FrontendConfig {
+                queue_depth: 8,
+                coalescing: false,
+                coalesce_window: 16,
+                hit_path: HitPathMode::Exclusive,
+                overflow: OverflowPolicy::Reject,
+                work_stealing: true,
+                read_workers: 2,
+            }
+        );
+        // Presets re-open into builders without drifting.
+        assert_eq!(
+            FrontendConfig::pr3_baseline().to_builder().build(),
+            FrontendConfig::pr3_baseline()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "queue depth")]
+    fn builder_validates_on_build() {
+        FrontendConfig::builder().queue_depth(0).build();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_accessors_forward_to_telemetry() {
+        let fe = frontend(2, FrontendConfig::default());
+        fe.serve_batch(&zero_batch(&[0, 1, 200])).expect("batch");
+        let telemetry = fe.telemetry();
+        assert_eq!(fe.snapshot(), telemetry.lane_totals());
+        assert_eq!(fe.lane_stats(), telemetry.lane_stats());
+        assert_eq!(
+            aggregate(&telemetry.lane_totals()),
+            LaneTotals::aggregate(&telemetry.lane_totals())
+        );
+        assert_eq!(telemetry.aggregate().events, 3);
+        assert_eq!(telemetry.shed(), 0);
+        assert_eq!(telemetry.lanes[0].name, "toy");
+    }
+
+    #[test]
+    fn batch_loop_drives_the_arbiter_schedule() {
+        use crate::arbiter::ArbiterConfig;
+
+        let fe = frontend(2, FrontendConfig::default());
+        let mut arbiter = AdaptiveArbiter::new(
+            ArbiterConfig::new(10_000).with_epoch_length(SimDuration::from_secs(2)),
+        );
+        // Before the first boundary: nothing fires.
+        let early = fe.serve_batch(&zero_batch(&[0, 1])).expect("batch");
+        assert_eq!(
+            fe.arbitrate(&mut arbiter, SimInstant::ZERO + early.report.makespan),
+            None,
+            "100 ms of hits is well inside epoch 1"
+        );
+        // A slow miss pushes simulated time past the boundary.
+        let requests = vec![ServeRequest::new(0, 0, 200, SimInstant::ZERO)];
+        let batch = fe.serve_batch(&requests).expect("batch");
+        let now = SimInstant::ZERO + batch.report.makespan + SimDuration::from_secs(1);
+        let decision = fe
+            .arbitrate(&mut arbiter, now)
+            .expect("epoch boundary crossed");
+        assert_eq!(decision.epoch, 1);
+        assert_eq!(decision.entries.len(), 2);
+        // Lane 0 saw 2 of the 3 events (keys 0 and 200), lane 1 saw 1.
+        assert!(decision.granted(CloudletId(0)) >= decision.granted(CloudletId(1)));
+        // Same instant again: the boundary has advanced, nothing fires.
+        assert_eq!(fe.arbitrate(&mut arbiter, now), None);
+        assert_eq!(arbiter.decisions().len(), 1);
     }
 }

@@ -23,6 +23,10 @@
 //! * [`update`] — the §5.4 client/server cache-management protocol.
 //! * [`coordination`] — §7's multi-cloudlet resource coordination:
 //!   budgets, coordinated eviction, and access isolation.
+//! * [`arbiter`] — the §7 arbiter closed over live telemetry: an
+//!   [`AdaptiveArbiter`] turns per-lane front-end totals into utility
+//!   signals, smooths them, and periodically re-derives the budget
+//!   split, logging every [`arbiter::BudgetDecision`].
 //! * [`service`] — the unified serving waist of §7: the
 //!   [`CloudletService`] trait, the shared [`ServeOutcome`]/[`ServeStats`]
 //!   taxonomy, and the workspace-level [`CloudletError`].
@@ -68,6 +72,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arbiter;
 pub mod cache;
 pub mod contentgen;
 pub mod coordination;
@@ -80,13 +85,15 @@ pub mod service;
 pub mod shard;
 pub mod update;
 
+pub use arbiter::{AdaptiveArbiter, ArbiterConfig, BudgetDecision, DemandContext};
 pub use cache::{CacheMode, LookupOutcome, PocketCache};
 pub use contentgen::{AdmissionPolicy, CacheContents, CachePair};
 pub use coordination::{CloudletBudgets, CloudletId, CoordinatedEviction};
 pub use corpus::{CorpusView, UniverseCorpus};
 pub use error::CoreError;
 pub use frontend::{
-    Frontend, FrontendConfig, FrontendReport, HitPathMode, OverflowPolicy, ServeRequest,
+    Frontend, FrontendConfig, FrontendReport, FrontendTelemetry, HitPathMode, OverflowPolicy,
+    ServeRequest,
 };
 pub use hashtable::{QueryHashTable, ScoredResult, SLOTS_PER_ENTRY};
 pub use ranking::RankingPolicy;

@@ -37,6 +37,7 @@
 use mobsim::time::{SimDuration, SimInstant};
 use serde::{Deserialize, Serialize};
 
+use crate::arbiter::DemandContext;
 use crate::coordination::{BudgetDemand, CloudletId};
 use crate::error::CoreError;
 
@@ -178,6 +179,24 @@ impl ServeStats {
             0.0
         } else {
             (self.hits + self.stale_hits) as f64 / self.attempted() as f64
+        }
+    }
+
+    /// The counters accumulated since `earlier` was snapshotted, as a
+    /// field-wise saturating difference. Both snapshots must come from
+    /// the same monotone counter set for the delta to be meaningful;
+    /// the adaptive arbiter uses this to turn cumulative lane stats
+    /// into per-epoch observations.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &ServeStats) -> ServeStats {
+        ServeStats {
+            serves: self.serves.saturating_sub(earlier.serves),
+            hits: self.hits.saturating_sub(earlier.hits),
+            stale_hits: self.stale_hits.saturating_sub(earlier.stale_hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            skipped: self.skipped.saturating_sub(earlier.skipped),
+            radio_bytes: self.radio_bytes.saturating_sub(earlier.radio_bytes),
+            busy: self.busy.saturating_sub(earlier.busy),
         }
     }
 
@@ -323,12 +342,21 @@ pub trait CloudletService {
     }
 
     /// This cloudlet's demand on a shared §7 index budget, for
-    /// [`crate::coordination::CloudletBudgets::register`].
-    fn budget_demand(&self, cloudlet: CloudletId, priority: f64) -> BudgetDemand {
+    /// [`crate::coordination::CloudletBudgets::set_demand`].
+    ///
+    /// The [`DemandContext`] carries the arbiter's utility-derived
+    /// priority plus the lane's own telemetry for the epoch being
+    /// arbitrated ([`crate::arbiter::AdaptiveArbiter`] fills it in;
+    /// static callers pass [`DemandContext::equal_priority`]). The
+    /// default demands the cloudlet's full capacity at the arbiter's
+    /// priority; implementations may shrink their demand when the
+    /// telemetry shows the lane idle, or dampen the priority when their
+    /// cached state is not earning hits.
+    fn budget_demand(&self, cloudlet: CloudletId, ctx: &DemandContext) -> BudgetDemand {
         BudgetDemand {
             cloudlet,
             demand_bytes: usize::try_from(self.capacity_bytes()).unwrap_or(usize::MAX),
-            priority,
+            priority: ctx.priority,
         }
     }
 }
@@ -440,11 +468,12 @@ mod tests {
     }
 
     #[test]
-    fn budget_demand_uses_capacity() {
+    fn budget_demand_uses_capacity_and_context_priority() {
         let svc = ToyService {
             stats: ServeStats::default(),
         };
-        let demand = svc.budget_demand(CloudletId(3), 2.0);
+        let ctx = DemandContext::equal_priority(0).with_priority(2.0);
+        let demand = svc.budget_demand(CloudletId(3), &ctx);
         assert_eq!(demand.cloudlet, CloudletId(3));
         assert_eq!(demand.demand_bytes, 4096);
         assert!((demand.priority - 2.0).abs() < f64::EPSILON);

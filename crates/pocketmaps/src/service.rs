@@ -7,6 +7,8 @@
 //! only when the whole 3×3 viewport came from the cache — the same
 //! instant/non-instant split [`MapsStats`] tracks.
 
+use cloudlet_core::arbiter::DemandContext;
+use cloudlet_core::coordination::{BudgetDemand, CloudletId};
 use cloudlet_core::service::{CloudletError, CloudletService, ServeOutcome, ServeStats};
 use mobsim::time::{SimDuration, SimInstant};
 
@@ -67,6 +69,22 @@ impl CloudletService for PocketMaps {
 
     fn capacity_bytes(&self) -> u64 {
         self.flash_budget()
+    }
+
+    /// Same engagement-driven demand as the web cloudlet: an idle epoch
+    /// defends only the tiles already cached; observed traffic (or a
+    /// static epoch-0 context) bids for the full flash budget.
+    fn budget_demand(&self, cloudlet: CloudletId, ctx: &DemandContext) -> BudgetDemand {
+        let demand = if ctx.epoch > 0 && !ctx.observed() {
+            self.cached_bytes()
+        } else {
+            self.flash_budget()
+        };
+        BudgetDemand {
+            cloudlet,
+            demand_bytes: usize::try_from(demand).unwrap_or(usize::MAX),
+            priority: ctx.priority,
+        }
     }
 }
 

@@ -168,6 +168,41 @@ impl cloudlet_core::service::CloudletService for AdCloudlet {
     fn cache_bytes(&self) -> u64 {
         (self.banner_bytes() + self.table.footprint_bytes()) as u64
     }
+
+    /// An ad consultation only earns its bytes when search hits — on a
+    /// search miss the radio wakes anyway and the consultation is
+    /// skipped (§7's coordinated semantics). The override dampens the
+    /// arbiter's priority by the observed consultation rate, so an ad
+    /// cache that is mostly skipped stops outbidding cloudlets whose
+    /// bytes are earning hits. Without telemetry (a static allocation)
+    /// the priority passes through unchanged.
+    fn budget_demand(
+        &self,
+        cloudlet: cloudlet_core::coordination::CloudletId,
+        ctx: &cloudlet_core::arbiter::DemandContext,
+    ) -> cloudlet_core::coordination::BudgetDemand {
+        let (serves, skipped) = if ctx.totals.events > 0 {
+            let served = ctx
+                .totals
+                .events
+                .saturating_sub(ctx.totals.rejected)
+                .saturating_sub(ctx.totals.errors);
+            (served, ctx.totals.skipped)
+        } else {
+            (ctx.stats.serves, ctx.stats.skipped)
+        };
+        let priority = if serves > 0 {
+            let consult_rate = serves.saturating_sub(skipped) as f64 / serves as f64;
+            (ctx.priority * consult_rate).max(cloudlet_core::arbiter::PRIORITY_FLOOR)
+        } else {
+            ctx.priority
+        };
+        cloudlet_core::coordination::BudgetDemand {
+            cloudlet,
+            demand_bytes: self.banner_bytes() + self.table.footprint_bytes(),
+            priority,
+        }
+    }
 }
 
 #[cfg(test)]

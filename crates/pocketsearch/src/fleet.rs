@@ -34,6 +34,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
+use cloudlet_core::arbiter::DemandContext;
 use cloudlet_core::coordination::{CloudletBudgets, CloudletId};
 use cloudlet_core::frontend::{Frontend, FrontendConfig, ServeRequest};
 use cloudlet_core::service::{CloudletError, CloudletService, ServeKind, ServeOutcome, ServeStats};
@@ -402,6 +403,23 @@ impl CloudletService for SearchShard {
     fn cache_bytes(&self) -> u64 {
         self.table.read(self.shard).footprint_bytes() as u64
     }
+
+    /// A shard's demand is always its slice of the shared DRAM index,
+    /// telemetry or not: shards are replicas over one [`ShardedTable`],
+    /// so a lane cannot grow or shrink its slice independently — the
+    /// adaptive arbiter moves capacity *between cloudlets* via the
+    /// context's priority, which passes through unchanged here.
+    fn budget_demand(
+        &self,
+        cloudlet: CloudletId,
+        ctx: &DemandContext,
+    ) -> cloudlet_core::coordination::BudgetDemand {
+        cloudlet_core::coordination::BudgetDemand {
+            cloudlet,
+            demand_bytes: self.table.read(self.shard).footprint_bytes(),
+            priority: ctx.priority,
+        }
+    }
 }
 
 /// Builds a pipelined [`Frontend`] of `n_shards` search lanes over one
@@ -626,14 +644,18 @@ impl ServeRouter {
     }
 
     /// Arbitrates `total_bytes` of shared index budget across the
-    /// lanes with the §7 water-filling arbiter: each lane demands its
-    /// [`CloudletService::capacity_bytes`] at equal priority, keyed by
-    /// its global lane index.
+    /// lanes with the §7 water-filling arbiter: each lane is asked for
+    /// its demand with the static [`DemandContext::equal_priority`]
+    /// context (epoch 0, no telemetry), keyed by its global lane index.
+    /// This is the one-shot, telemetry-free allocation; the adaptive
+    /// loop lives in `cloudlet_core::arbiter` and
+    /// `Frontend::arbitrate`.
     pub fn budget_allocation(&self, total_bytes: usize) -> BTreeMap<CloudletId, usize> {
         let mut budgets = CloudletBudgets::new(total_bytes);
+        let ctx = DemandContext::equal_priority(0);
         for (i, lane) in self.lanes.iter().enumerate() {
             let service = lane.service.lock().unwrap_or_else(PoisonError::into_inner);
-            budgets.register(service.budget_demand(CloudletId(i as u32), 1.0));
+            budgets.register(service.budget_demand(CloudletId(i as u32), &ctx));
         }
         budgets.allocate()
     }

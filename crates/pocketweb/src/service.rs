@@ -6,6 +6,8 @@
 //! indices (`PageId.0 as u64`); a key beyond the world's page count is
 //! a [`CloudletError::UnknownKey`], not a panic.
 
+use cloudlet_core::arbiter::DemandContext;
+use cloudlet_core::coordination::{BudgetDemand, CloudletId};
 use cloudlet_core::service::{CloudletError, CloudletService, ServeOutcome, ServeStats};
 use mobsim::time::SimInstant;
 
@@ -110,6 +112,24 @@ impl CloudletService for WebService {
     fn capacity_bytes(&self) -> u64 {
         self.web.flash_budget()
     }
+
+    /// Demand follows engagement: a lane the epoch's telemetry shows
+    /// idle only defends the bytes it already caches instead of bidding
+    /// for its full flash budget, freeing headroom for busy cloudlets.
+    /// Static contexts (epoch 0, no telemetry) keep the full-capacity
+    /// demand, so one-shot `budget_allocation` calls are unchanged.
+    fn budget_demand(&self, cloudlet: CloudletId, ctx: &DemandContext) -> BudgetDemand {
+        let demand = if ctx.epoch > 0 && !ctx.observed() {
+            self.web.cached_bytes()
+        } else {
+            self.web.flash_budget()
+        };
+        BudgetDemand {
+            cloudlet,
+            demand_bytes: usize::try_from(demand).unwrap_or(usize::MAX),
+            priority: ctx.priority,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -184,7 +204,23 @@ mod tests {
         let svc = service();
         assert_eq!(svc.capacity_bytes(), PocketWeb::DEFAULT_FLASH_BUDGET);
         assert!(svc.cache_bytes() < svc.capacity_bytes());
-        let demand = svc.budget_demand(cloudlet_core::coordination::CloudletId(1), 1.0);
+        let demand = svc.budget_demand(CloudletId(1), &DemandContext::equal_priority(0));
         assert_eq!(demand.demand_bytes as u64, PocketWeb::DEFAULT_FLASH_BUDGET);
+    }
+
+    #[test]
+    fn idle_epochs_shrink_demand_to_cached_bytes() {
+        let mut svc = service();
+        let key = WebService::key_of(svc.world().pages()[0].id);
+        svc.serve(key, SimInstant::ZERO).expect("valid key");
+        // Epoch 1, no observed traffic: defend only what is cached.
+        let idle = svc.budget_demand(CloudletId(1), &DemandContext::equal_priority(1));
+        assert_eq!(idle.demand_bytes as u64, svc.cache_bytes());
+        assert!(idle.demand_bytes > 0, "one page is cached");
+        // Epoch 1 with traffic: full budget again.
+        let busy_ctx = DemandContext::equal_priority(1)
+            .with_telemetry(Default::default(), svc.service_stats());
+        let busy = svc.budget_demand(CloudletId(1), &busy_ctx);
+        assert_eq!(busy.demand_bytes as u64, PocketWeb::DEFAULT_FLASH_BUDGET);
     }
 }

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# Regenerate the committed front-end benchmark artifact.
+# Regenerate the committed benchmark artifacts.
 #
-# Runs the test-scale `--study frontend` ablation (deterministic in the
-# seed — every number is simulated device time, so the JSON is identical
-# on any host) and writes BENCH_frontend.json at the repo root: sim qps,
-# hit ratio, p99 sim queue wait, and coalesced/stolen counts per config.
+# Runs the test-scale `--study frontend` and `--study arbiter` ablations
+# (deterministic in the seed — every number is simulated device time, so
+# the JSON is identical on any host) and writes, at the repo root:
+#   BENCH_frontend.json — sim qps, hit ratio, p99 sim queue wait, and
+#     coalesced/stolen counts per front-end config.
+#   BENCH_arbiter.json  — static vs adaptive aggregate hit ratio plus the
+#     per-epoch grant/priority log under the flipping skewed workload.
 #
-# Usage: scripts/bench.sh [--full]   (--full runs the paper-scale sweep;
-# the committed artifact is the test-scale one.)
+# Usage: scripts/bench.sh [--full]   (--full runs the paper-scale sweeps;
+# the committed artifacts are the test-scale ones.)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,3 +21,6 @@ fi
 
 cargo run --release -q -p pocket-bench --bin ablations -- \
   --study frontend ${scale_flag} --seed 2011 --out BENCH_frontend.json
+
+cargo run --release -q -p pocket-bench --bin ablations -- \
+  --study arbiter ${scale_flag} --seed 2011 --out BENCH_arbiter.json

@@ -11,6 +11,9 @@ cargo fmt --check
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo test -q -p cloudlet-core --lib arbiter (fast arbiter gate)"
+cargo test -q -p cloudlet-core --lib arbiter
+
 echo "==> cargo test -q"
 cargo test -q
 

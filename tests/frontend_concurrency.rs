@@ -7,7 +7,7 @@ use std::sync::OnceLock;
 
 use pocket_cloudlets::core::contentgen::{AdmissionPolicy, CacheContents};
 use pocket_cloudlets::core::corpus::UniverseCorpus;
-use pocket_cloudlets::core::frontend::{aggregate, FrontendConfig, ServeRequest};
+use pocket_cloudlets::core::frontend::{FrontendConfig, ServeRequest};
 use pocket_cloudlets::mobsim::time::SimInstant;
 use pocket_cloudlets::pocketsearch::config::PocketSearchConfig;
 use pocket_cloudlets::pocketsearch::engine::{Catalog, PocketSearch};
@@ -61,11 +61,10 @@ fn eight_threads_steal_work_without_losing_counts() {
     let shards = 4usize;
     let requests = hot_lane_burst(cached, shards as u64, 64);
 
-    let config = FrontendConfig {
-        queue_depth: 2,
-        work_stealing: true,
-        ..FrontendConfig::default()
-    };
+    let config = FrontendConfig::builder()
+        .queue_depth(2)
+        .work_stealing(true)
+        .build();
     let (_, frontend) = search_frontend(engine, shards, config);
 
     // One reference batch on an identical front-end.
@@ -85,7 +84,7 @@ fn eight_threads_steal_work_without_losing_counts() {
         }
     });
 
-    let totals = aggregate(&frontend.snapshot());
+    let totals = frontend.telemetry().aggregate();
     assert_eq!(totals.events, THREADS * requests.len() as u64);
     assert_eq!(totals.hits, THREADS * single.report.hits());
     assert_eq!(totals.misses, THREADS * single.report.misses());
@@ -119,7 +118,7 @@ fn concurrent_serve_one_counts_add_up() {
         }
     });
 
-    let totals = aggregate(&frontend.snapshot());
+    let totals = frontend.telemetry().aggregate();
     assert_eq!(totals.events, (THREADS * PER_THREAD) as u64);
     assert_eq!(totals.hits, (THREADS * PER_THREAD) as u64);
 }

@@ -83,14 +83,13 @@ proptest! {
             .map(|e| (e.user, e.key, sequential.serve(e.key).hit))
             .collect();
 
-        let config = FrontendConfig {
-            queue_depth: depth,
-            coalescing: true,
-            hit_path: HitPathMode::SharedRead,
-            overflow: OverflowPolicy::Park,
-            work_stealing: true,
-            ..FrontendConfig::default()
-        };
+        let config = FrontendConfig::builder()
+            .queue_depth(depth)
+            .coalescing(true)
+            .hit_path(HitPathMode::SharedRead)
+            .overflow(OverflowPolicy::Park)
+            .work_stealing(true)
+            .build();
         let (_, frontend) = search_frontend(engine, shards, config);
         let requests: Vec<ServeRequest> = events.iter().map(|&e| e.into()).collect();
         let batch = frontend.serve_batch(&requests).expect("frontend batch");
@@ -128,11 +127,10 @@ proptest! {
         let events = materialize(&raw, cached);
         let requests: Vec<ServeRequest> = events.iter().map(|&e| e.into()).collect();
 
-        let optimized = FrontendConfig {
-            work_stealing: true,
-            queue_depth: 4,
-            ..FrontendConfig::default()
-        };
+        let optimized = FrontendConfig::builder()
+            .work_stealing(true)
+            .queue_depth(4)
+            .build();
         let mut hits = Vec::new();
         for config in [FrontendConfig::pr3_baseline(), optimized] {
             let (_, frontend) = search_frontend(engine, shards, config);
@@ -161,14 +159,13 @@ proptest! {
         let late_at = SimInstant::from_micros(u64::MAX / 2);
         requests.push(ServeRequest::new(0, 0, 1 << 62, late_at));
 
-        let config = FrontendConfig {
-            queue_depth: depth,
-            coalescing: false,
-            hit_path: HitPathMode::Exclusive,
-            overflow: OverflowPolicy::Reject,
-            work_stealing: false,
-            ..FrontendConfig::default()
-        };
+        let config = FrontendConfig::builder()
+            .queue_depth(depth)
+            .coalescing(false)
+            .hit_path(HitPathMode::Exclusive)
+            .overflow(OverflowPolicy::Reject)
+            .work_stealing(false)
+            .build();
         let shed = |requests: &[ServeRequest]| -> Vec<bool> {
             let (_, frontend) = search_frontend(engine, 1, config);
             let batch = frontend.serve_batch(requests).expect("frontend batch");
