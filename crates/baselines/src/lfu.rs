@@ -55,12 +55,14 @@ impl LfuQueryCache {
 
     fn evict_if_needed(&mut self) {
         while self.entries.len() > self.capacity {
-            let victim = self
+            let Some(victim) = self
                 .entries
                 .iter()
                 .min_by_key(|(_, &(freq, stamp))| (freq, stamp))
                 .map(|(&h, _)| h)
-                .expect("non-empty over capacity");
+            else {
+                break;
+            };
             self.entries.remove(&victim);
         }
     }

@@ -15,9 +15,6 @@
 //! All baselines implement [`QueryCache`], the interface the replay
 //! harness drives.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod browser;
 pub mod lfu;
 pub mod lru;

@@ -68,12 +68,9 @@ impl LruQueryCache {
     fn insert(&mut self, query_hash: u64) {
         self.touch(query_hash);
         while self.stamps.len() > self.capacity {
-            let (&oldest, &victim) = self
-                .by_stamp
-                .iter()
-                .next()
-                .expect("non-empty over capacity");
-            self.by_stamp.remove(&oldest);
+            let Some((_, victim)) = self.by_stamp.pop_first() else {
+                break;
+            };
             self.stamps.remove(&victim);
         }
     }

@@ -683,7 +683,9 @@ impl AdaptiveArbiter {
 fn enforce_floors(granted: &mut BTreeMap<CloudletId, usize>, floors: &BTreeMap<CloudletId, usize>) {
     let mut deficit = 0usize;
     for (id, &floor) in floors {
-        let g = granted.get_mut(id).expect("floors mirror grants");
+        let Some(g) = granted.get_mut(id) else {
+            continue;
+        };
         if *g < floor {
             deficit += floor - *g;
             *g = floor;
@@ -705,8 +707,10 @@ fn enforce_floors(granted: &mut BTreeMap<CloudletId, usize>, floors: &BTreeMap<C
             break;
         }
         let take = surplus.min(deficit);
-        *granted.get_mut(&id).expect("donor is a grantee") -= take;
-        deficit -= take;
+        if let Some(g) = granted.get_mut(&id) {
+            *g -= take;
+            deficit -= take;
+        }
     }
     debug_assert_eq!(deficit, 0, "floors were jointly feasible");
 }

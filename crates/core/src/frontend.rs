@@ -22,7 +22,8 @@
 //!   as search shards, where re-serving a key is idempotent; stateful
 //!   lanes see the leader's outcome fanned out, which is what a real
 //!   coalescing front-end does.)
-//! * **A shared-lock hit path.** Lanes sit behind an `RwLock`. In
+//! * **A shared-lock hit path.** Lanes sit behind a rank-checked
+//!   `OrderedRwLock` (rank [`crate::lockrank::FRONT_LANE`]). In
 //!   [`HitPathMode::SharedRead`] every request first consults
 //!   [`CloudletService::try_serve_hit`] under a *read* lock; only
 //!   misses and mutating serves take the write lock. Hits run on a
@@ -54,7 +55,8 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{PoisonError, RwLock};
+
+use analysis::sync::OrderedRwLock;
 
 use mobsim::time::{SimDuration, SimInstant};
 
@@ -297,52 +299,64 @@ struct FrontCounters {
     busy_micros: AtomicU64,
 }
 
+/// Adds to one statistics counter.
+fn bump(counter: &AtomicU64, amount: u64) {
+    // relaxed-ok: the counters are independent monotonic statistics;
+    // no cross-counter ordering is implied and snapshot readers
+    // tolerate torn multi-field views.
+    counter.fetch_add(amount, Ordering::Relaxed);
+}
+
+/// Reads one statistics counter for a snapshot.
+fn peek(counter: &AtomicU64) -> u64 {
+    // relaxed-ok: advisory telemetry read; see `bump`.
+    counter.load(Ordering::Relaxed)
+}
+
 impl FrontCounters {
     fn record_outcome(&self, outcome: &ServeOutcome, coalesced: bool, stolen: bool) {
-        self.events.fetch_add(1, Ordering::Relaxed);
+        bump(&self.events, 1);
         let bucket = match outcome.kind {
             ServeKind::Hit => &self.hits,
             ServeKind::StaleHit => &self.stale_hits,
             ServeKind::Miss => &self.misses,
             ServeKind::Skipped => &self.skipped,
         };
-        bucket.fetch_add(1, Ordering::Relaxed);
+        bump(bucket, 1);
         if coalesced {
-            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            bump(&self.coalesced, 1);
         } else {
             // Followers ride the leader's serve: no radio, no busy time.
-            self.radio_bytes
-                .fetch_add(outcome.radio_bytes, Ordering::Relaxed);
-            self.busy_micros
-                .fetch_add(outcome.service.as_micros(), Ordering::Relaxed);
+            bump(&self.radio_bytes, outcome.radio_bytes);
+            bump(&self.busy_micros, outcome.service.as_micros());
         }
         if stolen {
-            self.stolen.fetch_add(1, Ordering::Relaxed);
+            bump(&self.stolen, 1);
         }
     }
 
     fn record_error(&self, rejected: bool) {
-        self.events.fetch_add(1, Ordering::Relaxed);
+        bump(&self.events, 1);
         if rejected {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
+            bump(&self.rejected, 1);
         } else {
-            self.errors.fetch_add(1, Ordering::Relaxed);
+            bump(&self.errors, 1);
         }
     }
 
     fn snapshot(&self) -> LaneTotals {
         LaneTotals {
-            events: self.events.load(Ordering::Relaxed),
-            hits: self.hits.load(Ordering::Relaxed),
-            stale_hits: self.stale_hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            skipped: self.skipped.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
-            stolen: self.stolen.load(Ordering::Relaxed),
-            radio_bytes: self.radio_bytes.load(Ordering::Relaxed),
-            busy: SimDuration::from_micros(self.busy_micros.load(Ordering::Relaxed)),
+            events: peek(&self.events),
+            hits: peek(&self.hits),
+            stale_hits: peek(&self.stale_hits),
+            misses: peek(&self.misses),
+            skipped: peek(&self.skipped),
+            errors: peek(&self.errors),
+            rejected: peek(&self.rejected),
+            coalesced: peek(&self.coalesced),
+            stolen: peek(&self.stolen),
+            radio_bytes: peek(&self.radio_bytes),
+            busy: SimDuration::from_micros(peek(&self.busy_micros)),
         }
     }
 }
@@ -624,11 +638,13 @@ impl FrontendTelemetry {
     }
 }
 
-/// One serving lane: a cloudlet behind a read/write lock (shared for
-/// fast-path hits, exclusive for everything else), with lock-free
-/// counters beside it.
+/// One serving lane: a cloudlet behind a rank-checked read/write lock
+/// (shared for fast-path hits, exclusive for everything else), with
+/// lock-free counters beside it. The lane lock is the outermost lock
+/// in the serve path — serves may descend into shard locks below it
+/// (see [`crate::lockrank`]).
 struct FrontLane {
-    service: RwLock<Box<dyn CloudletService + Send + Sync>>,
+    service: OrderedRwLock<Box<dyn CloudletService + Send + Sync>>,
     counters: FrontCounters,
 }
 
@@ -711,7 +727,7 @@ impl Frontend {
             for service in group {
                 indices.push(lanes.len());
                 lanes.push(FrontLane {
-                    service: RwLock::new(service),
+                    service: OrderedRwLock::new(crate::lockrank::FRONT_LANE, "front_lane", service),
                     counters: FrontCounters::default(),
                 });
             }
@@ -745,11 +761,7 @@ impl Frontend {
     ///
     /// Panics when `lane` is out of range.
     pub fn lane_name(&self, lane: usize) -> &'static str {
-        self.lanes[lane]
-            .service
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .name()
+        self.lanes[lane].service.read().name()
     }
 
     /// One unified snapshot of everything the front-end measures:
@@ -763,7 +775,7 @@ impl Frontend {
                 .iter()
                 .enumerate()
                 .map(|(lane, l)| {
-                    let service = l.service.read().unwrap_or_else(PoisonError::into_inner);
+                    let service = l.service.read();
                     LaneTelemetry {
                         lane,
                         name: service.name(),
@@ -822,7 +834,6 @@ impl Frontend {
             self.lanes[id.0 as usize]
                 .service
                 .read()
-                .unwrap_or_else(PoisonError::into_inner)
                 .budget_demand(id, ctx)
         }))
     }
@@ -854,10 +865,7 @@ impl Frontend {
     ) -> (Result<ServeOutcome, CloudletError>, bool) {
         if self.config.hit_path == HitPathMode::SharedRead {
             let fast = {
-                let service = self.lanes[lane]
-                    .service
-                    .read()
-                    .unwrap_or_else(PoisonError::into_inner);
+                let service = self.lanes[lane].service.read();
                 service.try_serve_hit(request.key, request.at)
             };
             if let Some(outcome) = fast {
@@ -865,10 +873,7 @@ impl Frontend {
             }
         }
         let result = {
-            let mut service = self.lanes[lane]
-                .service
-                .write()
-                .unwrap_or_else(PoisonError::into_inner);
+            let mut service = self.lanes[lane].service.write();
             service.serve(request.key, request.at)
         };
         (result, false)
@@ -983,10 +988,7 @@ impl Frontend {
             // never touches the bounded exclusive queue.
             if self.config.hit_path == HitPathMode::SharedRead {
                 let fast = {
-                    let service = self.lanes[home]
-                        .service
-                        .read()
-                        .unwrap_or_else(PoisonError::into_inner);
+                    let service = self.lanes[home].service.read();
                     service.try_serve_hit(request.key, request.at)
                 };
                 if let Some(outcome) = fast {

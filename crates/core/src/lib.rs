@@ -69,9 +69,6 @@
 //! assert_eq!(hit[0].result_hash, 200);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod arbiter;
 pub mod cache;
 pub mod contentgen;
@@ -80,6 +77,7 @@ pub mod corpus;
 pub mod error;
 pub mod frontend;
 pub mod hashtable;
+pub mod lockrank;
 pub mod ranking;
 pub mod service;
 pub mod shard;

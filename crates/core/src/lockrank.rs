@@ -1,0 +1,25 @@
+//! The workspace lock-rank map.
+//!
+//! Every [`analysis::sync::OrderedRwLock`] in the serving stack takes
+//! its rank from here; a thread may only acquire ranks in strictly
+//! increasing order (checked in debug builds). Lower rank = outer
+//! lock. The static companion — the `cloudlet-analysis` lock graph —
+//! checks the same discipline across function boundaries at lint time.
+//!
+//! Current order, outermost first:
+//!
+//! 1. [`FRONT_LANE`] — a front-end lane's service slot. `execute`
+//!    and `serve_batch` hold it across a whole serve call, which may
+//!    descend into the shard layer below.
+//! 2. [`SHARD`] — one shard of a [`crate::shard::ShardedTable`].
+//!    Innermost: nothing else is acquired while a shard guard is
+//!    held, and per-shard guards are taken one at a time.
+//!
+//! Adding a lock? Give it a rank that reflects where it nests, leave
+//! gaps for future layers, and extend this list.
+
+/// Rank of a pipelined front-end lane (`frontend::FrontLane`).
+pub const FRONT_LANE: u32 = 10;
+
+/// Rank of one `ShardedTable` shard.
+pub const SHARD: u32 = 20;

@@ -2,16 +2,23 @@
 //!
 //! A [`ShardedTable`] partitions one [`QueryHashTable`] into `S`
 //! independent shards by `query_hash % S`, each behind its own
-//! [`RwLock`]. Every salted overflow entry of a query keys on the same
-//! `query_hash`, so a whole chain lands in one shard and a per-shard
-//! lookup returns exactly what the unsharded table would. Readers on
-//! different shards never contend, which is what lets a serving fleet
-//! (see the `pocketsearch` crate's `fleet` module) fan queries out
-//! across worker threads.
+//! rank-checked lock ([`OrderedRwLock`] at rank
+//! [`crate::lockrank::SHARD`]). Every salted overflow entry of a query
+//! keys on the same `query_hash`, so a whole chain lands in one shard
+//! and a per-shard lookup returns exactly what the unsharded table
+//! would. Readers on different shards never contend, which is what
+//! lets a serving fleet (see the `pocketsearch` crate's `fleet`
+//! module) fan queries out across worker threads.
+//!
+//! Shard locks are innermost in the workspace lock order: nothing may
+//! be acquired while a shard guard is held, and the whole-table
+//! aggregations below therefore take their per-shard guards one at a
+//! time (a guard per iteration, never two at once).
 
-use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use analysis::sync::{OrderedReadGuard, OrderedRwLock, OrderedWriteGuard};
 
 use crate::hashtable::{EntryRecord, QueryHashTable, ScoredResult};
+use crate::lockrank;
 
 /// A [`QueryHashTable`] split into independently locked shards.
 ///
@@ -31,7 +38,11 @@ use crate::hashtable::{EntryRecord, QueryHashTable, ScoredResult};
 /// ```
 #[derive(Debug)]
 pub struct ShardedTable {
-    shards: Vec<RwLock<QueryHashTable>>,
+    shards: Vec<OrderedRwLock<QueryHashTable>>,
+}
+
+fn shard_lock(table: QueryHashTable) -> OrderedRwLock<QueryHashTable> {
+    OrderedRwLock::new(lockrank::SHARD, "shard", table)
 }
 
 impl ShardedTable {
@@ -44,7 +55,7 @@ impl ShardedTable {
         assert!(n_shards > 0, "a sharded table needs at least one shard");
         ShardedTable {
             shards: (0..n_shards)
-                .map(|_| RwLock::new(QueryHashTable::new()))
+                .map(|_| shard_lock(QueryHashTable::new()))
                 .collect(),
         }
     }
@@ -68,7 +79,7 @@ impl ShardedTable {
         ShardedTable {
             shards: buckets
                 .into_iter()
-                .map(|records| RwLock::new(QueryHashTable::from_records(&records)))
+                .map(|records| shard_lock(QueryHashTable::from_records(&records)))
                 .collect(),
         }
     }
@@ -86,15 +97,14 @@ impl ShardedTable {
     /// Read access to one shard's table. A poisoned lock (a reader
     /// panicked while holding it) is recovered rather than propagated:
     /// readers never leave the table mid-mutation, so the state is
-    /// intact.
+    /// intact. Debug builds additionally enforce the workspace lock
+    /// order (shard locks are innermost; see [`crate::lockrank`]).
     ///
     /// # Panics
     ///
     /// Panics when `shard` is out of range.
-    pub fn read(&self, shard: usize) -> RwLockReadGuard<'_, QueryHashTable> {
-        self.shards[shard]
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
+    pub fn read(&self, shard: usize) -> OrderedReadGuard<'_, QueryHashTable> {
+        self.shards[shard].read()
     }
 
     /// Write access to one shard's table, recovering a poisoned lock
@@ -103,10 +113,8 @@ impl ShardedTable {
     /// # Panics
     ///
     /// Panics when `shard` is out of range.
-    pub fn write(&self, shard: usize) -> RwLockWriteGuard<'_, QueryHashTable> {
-        self.shards[shard]
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
+    pub fn write(&self, shard: usize) -> OrderedWriteGuard<'_, QueryHashTable> {
+        self.shards[shard].write()
     }
 
     /// Looks `query_hash` up in its owning shard; results match the
@@ -117,63 +125,30 @@ impl ShardedTable {
 
     /// Total cached (query, result) pairs across shards.
     pub fn pair_count(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| {
-                s.read()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .pair_count()
-            })
-            .sum()
+        self.shards.iter().map(|s| s.read().pair_count()).sum()
     }
 
     /// Total hash-table entries across shards.
     pub fn entry_count(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| {
-                s.read()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .entry_count()
-            })
-            .sum()
+        self.shards.iter().map(|s| s.read().entry_count()).sum()
     }
 
     /// Total DRAM footprint across shards (the sharding itself adds no
     /// per-pair overhead: entries just live in smaller maps).
     pub fn footprint_bytes(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| {
-                s.read()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .footprint_bytes()
-            })
-            .sum()
+        self.shards.iter().map(|s| s.read().footprint_bytes()).sum()
     }
 
     /// Per-shard pair counts, for balance diagnostics.
     pub fn pair_counts(&self) -> Vec<usize> {
-        self.shards
-            .iter()
-            .map(|s| {
-                s.read()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .pair_count()
-            })
-            .collect()
+        self.shards.iter().map(|s| s.read().pair_count()).collect()
     }
 
     /// Merges all shards back into one flat table.
     pub fn to_table(&self) -> QueryHashTable {
         let mut records = Vec::new();
         for shard in &self.shards {
-            records.extend(
-                shard
-                    .read()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .to_records(),
-            );
+            records.extend(shard.read().to_records());
         }
         QueryHashTable::from_records(&records)
     }
@@ -258,5 +233,17 @@ mod tests {
         let table = seeded_table(12, 2);
         let sharded = ShardedTable::from_table(&table, 1);
         assert_eq!(sharded.to_table(), table);
+    }
+
+    #[test]
+    fn shard_locks_sit_at_the_shard_rank() {
+        let sharded = ShardedTable::new(2);
+        // Guards are taken one at a time everywhere in this module;
+        // holding two shard guards at once would trip the rank check
+        // in debug builds (equal ranks may not nest).
+        let g0 = sharded.read(0);
+        drop(g0);
+        let g1 = sharded.read(1);
+        drop(g1);
     }
 }

@@ -33,9 +33,6 @@
 //! assert!(time.as_millis_f64() < 20.0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod db;
 pub mod patch;
 pub mod record;

@@ -237,18 +237,18 @@ impl Device {
     }
 
     fn radio_mut(&mut self, kind: RadioKind) -> &mut Radio {
-        self.radios
-            .iter_mut()
-            .find(|r| r.model().kind == kind)
-            .expect("device is constructed with every RadioKind")
+        // Radios are built in `RadioKind::ALL` order, which matches the
+        // enum's discriminants, so each kind indexes its own radio.
+        let radio = &mut self.radios[kind as usize];
+        debug_assert_eq!(radio.model().kind, kind);
+        radio
     }
 
     /// Immutable access to one of the device's radios.
     pub fn radio(&self, kind: RadioKind) -> &Radio {
-        self.radios
-            .iter()
-            .find(|r| r.model().kind == kind)
-            .expect("device is constructed with every RadioKind")
+        let radio = &self.radios[kind as usize];
+        debug_assert_eq!(radio.model().kind, kind);
+        radio
     }
 
     fn energy_since(&self, start: Energy) -> Energy {

@@ -32,9 +32,6 @@
 //! assert!(xfer.total_time.as_secs_f64() > 2.0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod battery;
 pub mod browser;
 pub mod device;

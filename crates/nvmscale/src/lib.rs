@@ -26,9 +26,6 @@
 //! assert!(capacity_2018.as_tib() >= 1.0, "high-end phones reach 1 TB by 2018");
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod capacity;
 pub mod projection;
 pub mod trends;

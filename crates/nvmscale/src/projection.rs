@@ -177,13 +177,7 @@ impl CapacityProjection {
     pub fn series(&self, tier: DeviceTier) -> Vec<(u32, ByteSize)> {
         self.trends
             .iter()
-            .map(|node| {
-                (
-                    node.year,
-                    self.capacity(tier, node.year)
-                        .expect("node year is always at-or-after baseline"),
-                )
-            })
+            .filter_map(|node| Some((node.year, self.capacity(tier, node.year)?)))
             .collect()
     }
 

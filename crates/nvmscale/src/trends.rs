@@ -183,9 +183,10 @@ impl ScalingTrends {
         self.nodes.is_empty()
     }
 
-    /// Year of the final projected node.
+    /// Year of the final projected node (0 only for the impossible
+    /// empty table; validation rejects empty node lists).
     pub fn last_year(&self) -> u32 {
-        self.nodes.last().expect("validated non-empty").year
+        self.nodes.last().map_or(0, |node| node.year)
     }
 }
 

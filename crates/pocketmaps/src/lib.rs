@@ -36,9 +36,6 @@
 //! assert_eq!(render.misses, 0, "the home region renders radio-free");
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod cloudlet;
 pub mod grid;
 pub mod movement;

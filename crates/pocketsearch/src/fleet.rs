@@ -122,9 +122,23 @@ struct LaneCounters {
     busy_micros: AtomicU64,
 }
 
+/// Adds to one statistics counter.
+fn bump(counter: &AtomicU64, amount: u64) {
+    // relaxed-ok: the counters are independent monotonic statistics;
+    // no cross-counter ordering is implied and snapshot readers
+    // tolerate torn multi-field views.
+    counter.fetch_add(amount, Ordering::Relaxed);
+}
+
+/// Reads one statistics counter for a snapshot.
+fn peek(counter: &AtomicU64) -> u64 {
+    // relaxed-ok: advisory telemetry read; see `bump`.
+    counter.load(Ordering::Relaxed)
+}
+
 impl LaneCounters {
     fn record(&self, result: &Result<ServeOutcome, CloudletError>) {
-        self.events.fetch_add(1, Ordering::Relaxed);
+        bump(&self.events, 1);
         match result {
             Ok(outcome) => {
                 let bucket = match outcome.kind {
@@ -133,28 +147,26 @@ impl LaneCounters {
                     ServeKind::Miss => &self.misses,
                     ServeKind::Skipped => &self.skipped,
                 };
-                bucket.fetch_add(1, Ordering::Relaxed);
-                self.radio_bytes
-                    .fetch_add(outcome.radio_bytes, Ordering::Relaxed);
-                self.busy_micros
-                    .fetch_add(outcome.service.as_micros(), Ordering::Relaxed);
+                bump(bucket, 1);
+                bump(&self.radio_bytes, outcome.radio_bytes);
+                bump(&self.busy_micros, outcome.service.as_micros());
             }
             Err(_) => {
-                self.errors.fetch_add(1, Ordering::Relaxed);
+                bump(&self.errors, 1);
             }
         }
     }
 
     fn snapshot(&self) -> ShardReport {
         ShardReport {
-            events: self.events.load(Ordering::Relaxed),
-            hits: self.hits.load(Ordering::Relaxed),
-            stale_hits: self.stale_hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            skipped: self.skipped.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            radio_bytes: self.radio_bytes.load(Ordering::Relaxed),
-            busy: SimDuration::from_micros(self.busy_micros.load(Ordering::Relaxed)),
+            events: peek(&self.events),
+            hits: peek(&self.hits),
+            stale_hits: peek(&self.stale_hits),
+            misses: peek(&self.misses),
+            skipped: peek(&self.skipped),
+            errors: peek(&self.errors),
+            radio_bytes: peek(&self.radio_bytes),
+            busy: SimDuration::from_micros(peek(&self.busy_micros)),
         }
     }
 }

@@ -47,9 +47,6 @@
 //! assert!(served.report.total_time.as_millis_f64() < 500.0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod advert;
 pub mod config;
 pub mod engine;

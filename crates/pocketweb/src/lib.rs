@@ -44,9 +44,6 @@
 //! assert!(outcome.served_locally());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod cloudlet;
 pub mod policy;
 pub mod service;

@@ -23,7 +23,7 @@ pub struct NewQueryDistribution {
 impl NewQueryDistribution {
     /// Builds a distribution from raw per-user probabilities.
     pub fn new(mut probs: Vec<f64>) -> Self {
-        probs.sort_by(|a, b| a.partial_cmp(b).expect("probabilities are finite"));
+        probs.sort_by(f64::total_cmp);
         NewQueryDistribution { probs }
     }
 

@@ -43,9 +43,6 @@
 //! assert!(!log.is_empty());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod analysis;
 pub mod generator;
 pub mod ids;

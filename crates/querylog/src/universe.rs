@@ -432,12 +432,17 @@ impl Universe {
         kind: QueryKind,
         segment: Segment,
     ) -> PairId {
-        let (_, _, idx, sampler) = self
+        // All four (kind, segment) cells are materialized at
+        // generation; sampling the whole universe is the graceful
+        // fallback should that invariant ever regress.
+        match self
             .segment_samplers
             .iter()
             .find(|(k, s, _, _)| *k == kind && *s == segment)
-            .expect("all four cells are materialized at generation");
-        PairId::new(idx[sampler.sample(rng)])
+        {
+            Some((_, _, idx, sampler)) => PairId::new(idx[sampler.sample(rng)]),
+            None => self.sample_pair(rng),
+        }
     }
 
     /// The pairs sharing a query (its clicked results), in generation

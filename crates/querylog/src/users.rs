@@ -201,10 +201,9 @@ impl UserProfile {
             DeviceClass::Smartphone
         };
 
-        let class_idx = UserClass::ALL
-            .iter()
-            .position(|&c| c == class)
-            .expect("class in ALL");
+        // `ALL` lists the variants in declaration order, so the
+        // discriminant is the index.
+        let class_idx = class as usize;
         let base_range = if rng.random::<f64>() < behavior.habitual_share {
             behavior.habitual_repeat
         } else {

@@ -125,7 +125,7 @@ impl WeightedIndex {
 
     /// Total (unnormalized) weight.
     pub fn total(&self) -> f64 {
-        *self.cumulative.last().expect("validated non-empty")
+        self.cumulative.last().copied().unwrap_or(0.0)
     }
 
     /// Draws one index.
@@ -136,10 +136,7 @@ impl WeightedIndex {
 
     /// Finds the index whose cumulative interval contains `x`.
     fn locate(&self, x: f64) -> usize {
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&x).expect("finite weights"))
-        {
+        match self.cumulative.binary_search_by(|c| c.total_cmp(&x)) {
             Ok(i) => (i + 1).min(self.cumulative.len() - 1),
             Err(i) => i.min(self.cumulative.len() - 1),
         }

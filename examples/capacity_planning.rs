@@ -12,7 +12,7 @@ use pocket_cloudlets::core::coordination::{
 };
 use pocket_cloudlets::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // How much NVM will devices have, year by year?
     let trends = ScalingTrends::paper_table1();
     let projection = CapacityProjection::new(&trends, ScalingTechnique::all());
@@ -20,10 +20,10 @@ fn main() {
     for year in [2010u32, 2014, 2018, 2022, 2026] {
         let high = projection
             .capacity(DeviceTier::HighEnd, year)
-            .expect("year in range");
+            .ok_or("year should be in the projection range")?;
         let low = projection
             .capacity(DeviceTier::LowEnd, year)
-            .expect("year in range");
+            .ok_or("year should be in the projection range")?;
         println!("  {year}: high-end {high:>10}, low-end {low:>10}");
     }
     let one_tb_year = projection
@@ -31,7 +31,7 @@ fn main() {
             DeviceTier::HighEnd,
             pocket_cloudlets::nvmscale::ByteSize::from_tib(1.0),
         )
-        .expect("the roadmap reaches 1 TB");
+        .ok_or("the scaling roadmap should reach 1 TB")?;
     println!("  -> high-end phones reach 1 TB in {one_tb_year} (paper: 2018)\n");
 
     // Dedicate 10% of a future low-end phone to cloudlets and size them.
@@ -108,4 +108,5 @@ fn main() {
         "budget fully used"
     );
     assert!(!acl.can_access(maps, search));
+    Ok(())
 }

@@ -11,7 +11,7 @@ use pocket_cloudlets::core::update::UpdateServer;
 use pocket_cloudlets::prelude::*;
 use pocket_cloudlets::querylog::ids::UserId;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut generator = LogGenerator::new(GeneratorConfig::test_scale(), 1234);
     let build_month = generator.generate_month();
     let triplets = TripletTable::from_log(&build_month);
@@ -63,19 +63,17 @@ fn main() {
     }
 
     let timeline = pocket.device().timeline();
+    let peak = timeline.peak_power().ok_or("the day should not be empty")?;
     println!(
-        "\nday so far: {hits}/10 hits, {:.1} s of activity, {:.1} J dissipated, peak draw {}",
+        "\nday so far: {hits}/10 hits, {:.1} s of activity, {:.1} J dissipated, peak draw {peak}",
         timeline.busy_time().as_secs_f64(),
         timeline.total_energy().joules(),
-        timeline.peak_power().expect("the day was not empty"),
     );
 
     // Overnight, on the charger: upload the table, receive the merged
     // cache and database patches (§5.4).
     let server = UpdateServer::from_contents(&contents, RankingPolicy::default());
-    let report = pocket
-        .nightly_update(&server, &catalog)
-        .expect("the update protocol versions match");
+    let report = pocket.nightly_update(&server, &catalog)?;
     println!(
         "\nnightly update: uploaded {:.0} KB, downloaded {:.0} KB, {} records patched in, {} dropped",
         report.upload_bytes as f64 / 1_000.0,
@@ -87,4 +85,5 @@ fn main() {
         "cache now holds {} pairs; tomorrow starts warm.",
         pocket.cache().table().pair_count()
     );
+    Ok(())
 }

@@ -7,7 +7,7 @@
 
 use pocket_cloudlets::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A month of community mobile-search logs (synthetic stand-in for
     //    the paper's m.bing.com traces).
     let mut generator = LogGenerator::new(GeneratorConfig::test_scale(), 42);
@@ -52,23 +52,27 @@ fn main() {
     // ...while an uncached one wakes the 3G radio and pays seconds.
     let miss = pocket.serve(0xDEAD_BEEF);
     assert!(!miss.hit);
+    let transfer = miss
+        .report
+        .transfer
+        .ok_or("miss should have used the radio")?;
     println!(
         "cache miss: {:>10}  {:>10}  (radio wakeup {})",
         miss.report.total_time.to_string(),
         miss.report.energy.to_string(),
-        miss.report.transfer.expect("miss used the radio").wakeup,
+        transfer.wakeup,
     );
 
     let speedup = miss
         .report
         .total_time
         .ratio(hit.report.total_time)
-        .expect("hit is non-zero");
+        .ok_or("hit time should be non-zero")?;
     let energy = miss
         .report
         .energy
         .ratio(hit.report.energy)
-        .expect("hit energy is non-zero");
+        .ok_or("hit energy should be non-zero")?;
     println!("\nspeedup {speedup:.0}x, energy saving {energy:.0}x (paper: 16x and 23x)");
 
     // 5. The Figure 1 auto-suggest box: as the user types, cached results
@@ -91,4 +95,5 @@ fn main() {
         );
     }
     assert!(!suggestions.is_empty());
+    Ok(())
 }

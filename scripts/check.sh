@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> cloudlet-analysis lint (policy rules R1-R5)"
+cargo run -q -p cloudlet-analysis --bin lint
+
 echo "==> cargo build --release"
 cargo build --release
 

@@ -44,9 +44,6 @@
 //! assert!(served.hit, "popular queries are served without the radio");
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub use baselines;
 pub use cloudlet_core as core;
 pub use flashdb;
