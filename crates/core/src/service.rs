@@ -68,6 +68,10 @@ pub struct ServeOutcome {
     /// Simulated device time spent serving it (zero for cloudlets
     /// whose model does not charge serve time).
     pub service: SimDuration,
+    /// Whether local state was found damaged while answering (e.g. a
+    /// corrupt flash record) and the cloudlet degraded gracefully to the
+    /// radio instead of failing the request.
+    pub recovered: bool,
 }
 
 impl ServeOutcome {
@@ -77,6 +81,7 @@ impl ServeOutcome {
             kind: ServeKind::Hit,
             radio_bytes: 0,
             service: SimDuration::ZERO,
+            recovered: false,
         }
     }
 
@@ -86,6 +91,7 @@ impl ServeOutcome {
             kind: ServeKind::StaleHit,
             radio_bytes,
             service: SimDuration::ZERO,
+            recovered: false,
         }
     }
 
@@ -95,6 +101,19 @@ impl ServeOutcome {
             kind: ServeKind::Miss,
             radio_bytes,
             service: SimDuration::ZERO,
+            recovered: false,
+        }
+    }
+
+    /// A miss forced by damaged local state: the answer *should* have
+    /// been a hit, but corruption was detected and the radio answered
+    /// instead — the §5.4 graceful-degradation path.
+    pub fn recovered_miss(radio_bytes: u64) -> Self {
+        ServeOutcome {
+            kind: ServeKind::Miss,
+            radio_bytes,
+            service: SimDuration::ZERO,
+            recovered: true,
         }
     }
 
@@ -104,6 +123,7 @@ impl ServeOutcome {
             kind: ServeKind::Skipped,
             radio_bytes: 0,
             service: SimDuration::ZERO,
+            recovered: false,
         }
     }
 
@@ -139,6 +159,9 @@ pub struct ServeStats {
     pub misses: u64,
     /// Declined consultations.
     pub skipped: u64,
+    /// Outcomes that degraded to the radio after detecting damaged
+    /// local state (a subset of `misses`).
+    pub recovered: u64,
     /// Total radio bytes across all outcomes.
     pub radio_bytes: u64,
     /// Total simulated service time.
@@ -154,6 +177,9 @@ impl ServeStats {
             ServeKind::StaleHit => self.stale_hits += 1,
             ServeKind::Miss => self.misses += 1,
             ServeKind::Skipped => self.skipped += 1,
+        }
+        if outcome.recovered {
+            self.recovered += 1;
         }
         self.radio_bytes += outcome.radio_bytes;
         self.busy += outcome.service;
@@ -195,6 +221,7 @@ impl ServeStats {
             stale_hits: self.stale_hits.saturating_sub(earlier.stale_hits),
             misses: self.misses.saturating_sub(earlier.misses),
             skipped: self.skipped.saturating_sub(earlier.skipped),
+            recovered: self.recovered.saturating_sub(earlier.recovered),
             radio_bytes: self.radio_bytes.saturating_sub(earlier.radio_bytes),
             busy: self.busy.saturating_sub(earlier.busy),
         }
@@ -207,6 +234,7 @@ impl ServeStats {
         self.stale_hits += other.stale_hits;
         self.misses += other.misses;
         self.skipped += other.skipped;
+        self.recovered += other.recovered;
         self.radio_bytes += other.radio_bytes;
         self.busy += other.busy;
     }

@@ -79,6 +79,16 @@ pub enum DbError {
     },
 }
 
+impl DbError {
+    /// Whether this error indicates damaged on-flash state (corrupt
+    /// bytes, broken headers, lost files) as opposed to a merely absent
+    /// record. Damage is the class of failures a cloudlet can repair by
+    /// re-fetching the affected file's records over the radio.
+    pub fn is_corruption(&self) -> bool {
+        !matches!(self, DbError::NotFound { .. })
+    }
+}
+
 impl std::fmt::Display for DbError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -237,6 +247,72 @@ impl ResultDb {
 
     fn file_for(&self, result_hash: u64) -> usize {
         (result_hash % self.config.n_files as u64) as usize
+    }
+
+    /// Hashes of every record the mirror places in file `index`, sorted.
+    /// This is the re-fetch manifest when that file is damaged: the
+    /// authoritative copies live on the server, keyed by these hashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= n_files`.
+    pub fn file_hashes(&self, index: usize) -> Vec<u64> {
+        let mut hashes: Vec<u64> = self.files[index].index.keys().copied().collect();
+        hashes.sort_unstable();
+        hashes
+    }
+
+    /// Rebuilds file `index` from fresh, authoritative record bodies
+    /// (e.g. re-fetched over the radio after corruption), replacing
+    /// whatever bytes were on flash. Records that do not belong to this
+    /// file under the `hash % n_files` rule are ignored. Returns the
+    /// simulated flash time spent.
+    ///
+    /// Unlike [`compact`](Self::compact), this never reads the old file,
+    /// so it works even when the old bytes are unreadable; the rewrite
+    /// also lands on freshly allocated blocks, which is what lets a
+    /// wear-leveling allocator migrate the file off worn media.
+    pub fn restore_file<R: Borrow<ResultRecord>>(
+        &mut self,
+        index: usize,
+        records: impl IntoIterator<Item = R>,
+        flash: &mut FlashStore,
+    ) -> SimDuration {
+        let name = self.file_name_of(index);
+        let mut bucket: Vec<R> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for r in records {
+            let hash = r.borrow().result_hash;
+            if self.file_for(hash) == index && seen.insert(hash) {
+                bucket.push(r);
+            }
+        }
+        let capacity = bucket
+            .len()
+            .saturating_mul(2)
+            .next_power_of_two()
+            .max(self.config.initial_header_capacity);
+        let mut state = FileState::default();
+        let bytes = Self::serialize_file(&bucket, capacity, &mut state);
+        let time = flash.write_file(name, bytes);
+        self.files[index] = state;
+        time
+    }
+
+    /// Rewrites file `index` in place from its own live records — a
+    /// single-file compaction used to rotate a file off worn blocks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash and decode failures; a file whose records no
+    /// longer decode cannot be rotated and needs
+    /// [`restore_file`](Self::restore_file) instead.
+    pub fn rewrite_file(
+        &mut self,
+        index: usize,
+        flash: &mut FlashStore,
+    ) -> Result<SimDuration, DbError> {
+        self.rebuild_file_with(index, None, flash)
     }
 
     fn serialize_file<R: Borrow<ResultRecord>>(

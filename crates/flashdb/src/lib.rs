@@ -33,10 +33,12 @@
 //! assert!(time.as_millis_f64() < 20.0);
 //! ```
 
+pub mod allocator;
 pub mod db;
 pub mod patch;
 pub mod record;
 
+pub use allocator::{DbWearReport, FileWear, RotationReport};
 pub use db::{DbConfig, DbError, DbStats, ResultDb};
 pub use patch::{DbPatch, PatchReport};
 pub use record::ResultRecord;

@@ -8,6 +8,56 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 
+/// Streaming CRC-32 (IEEE 802.3 reflected polynomial, the zlib/PNG one).
+///
+/// Every [`ResultRecord`] carries this checksum over its encoded bytes so
+/// that media corruption — e.g. a stuck NAND cell flipping one bit of a
+/// snippet — is always *detected*: a corrupted record decodes to a typed
+/// error, never to a silently different record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Feeds bytes into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.state ^= u32::from(byte);
+            for _ in 0..8 {
+                let lsb = self.state & 1;
+                self.state >>= 1;
+                if lsb != 0 {
+                    self.state ^= 0xEDB8_8320;
+                }
+            }
+        }
+    }
+
+    /// The checksum of everything fed so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+
+    /// One-shot checksum of a byte slice.
+    pub fn of(bytes: &[u8]) -> u32 {
+        let mut crc = Crc32::new();
+        crc.update(bytes);
+        crc.finish()
+    }
+}
+
 /// One stored search result.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ResultRecord {
@@ -28,6 +78,15 @@ pub enum DecodeError {
     Truncated,
     /// A field was not valid UTF-8.
     InvalidUtf8,
+    /// The stored CRC-32 does not match the decoded bytes: the record was
+    /// damaged in a way that still parsed (e.g. a flipped bit inside a
+    /// text field).
+    ChecksumMismatch {
+        /// Checksum stored with the record.
+        stored: u32,
+        /// Checksum recomputed from the decoded bytes.
+        computed: u32,
+    },
 }
 
 impl std::fmt::Display for DecodeError {
@@ -35,6 +94,10 @@ impl std::fmt::Display for DecodeError {
         match self {
             DecodeError::Truncated => write!(f, "record bytes were truncated"),
             DecodeError::InvalidUtf8 => write!(f, "record field was not valid utf-8"),
+            DecodeError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "record checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
         }
     }
 }
@@ -73,13 +136,14 @@ impl ResultRecord {
         record
     }
 
-    /// Encoded size in bytes: an 8-byte hash plus three length-prefixed
-    /// fields.
+    /// Encoded size in bytes: an 8-byte hash, three length-prefixed
+    /// fields, and a trailing CRC-32.
     pub fn encoded_len(&self) -> usize {
-        8 + 2 + self.title.len() + 2 + self.display_url.len() + 2 + self.snippet.len()
+        8 + 2 + self.title.len() + 2 + self.display_url.len() + 2 + self.snippet.len() + 4
     }
 
-    /// Encodes the record.
+    /// Encodes the record. The trailing CRC-32 covers every preceding
+    /// byte, so any single corrupted bit is detectable at decode time.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.encoded_len());
         buf.put_u64_le(self.result_hash);
@@ -87,35 +151,51 @@ impl ResultRecord {
             buf.put_u16_le(field.len() as u16);
             buf.put_slice(field.as_bytes());
         }
+        buf.put_u32_le(Crc32::of(&buf));
         buf.freeze()
     }
 
-    /// Decodes one record from the front of `buf`.
+    /// Decodes one record from the front of `buf`, verifying its CRC-32.
     ///
     /// # Errors
     ///
-    /// Returns [`DecodeError::Truncated`] when `buf` is too short and
-    /// [`DecodeError::InvalidUtf8`] for corrupt text fields.
+    /// Returns [`DecodeError::Truncated`] when `buf` is too short,
+    /// [`DecodeError::InvalidUtf8`] for corrupt text fields, and
+    /// [`DecodeError::ChecksumMismatch`] when the bytes parsed but do not
+    /// match the stored checksum.
     pub fn decode(buf: &mut impl Buf) -> Result<ResultRecord, DecodeError> {
-        fn field(buf: &mut impl Buf) -> Result<String, DecodeError> {
+        fn field(buf: &mut impl Buf, crc: &mut Crc32) -> Result<String, DecodeError> {
             if buf.remaining() < 2 {
                 return Err(DecodeError::Truncated);
             }
-            let len = usize::from(buf.get_u16_le());
+            let len = buf.get_u16_le();
+            crc.update(&len.to_le_bytes());
+            let len = usize::from(len);
             if buf.remaining() < len {
                 return Err(DecodeError::Truncated);
             }
             let mut bytes = vec![0u8; len];
             buf.copy_to_slice(&mut bytes);
+            crc.update(&bytes);
             String::from_utf8(bytes).map_err(|_| DecodeError::InvalidUtf8)
         }
+        let mut crc = Crc32::new();
         if buf.remaining() < 8 {
             return Err(DecodeError::Truncated);
         }
         let result_hash = buf.get_u64_le();
-        let title = field(buf)?;
-        let display_url = field(buf)?;
-        let snippet = field(buf)?;
+        crc.update(&result_hash.to_le_bytes());
+        let title = field(buf, &mut crc)?;
+        let display_url = field(buf, &mut crc)?;
+        let snippet = field(buf, &mut crc)?;
+        if buf.remaining() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let stored = buf.get_u32_le();
+        let computed = crc.finish();
+        if stored != computed {
+            return Err(DecodeError::ChecksumMismatch { stored, computed });
+        }
         Ok(ResultRecord {
             result_hash,
             title,
@@ -179,7 +259,34 @@ mod tests {
         let r = ResultRecord::new(5, "", "", "");
         let decoded = ResultRecord::decode(&mut r.encode()).unwrap();
         assert_eq!(decoded, r);
-        assert_eq!(r.encoded_len(), 14);
+        // 8-byte hash + 3 empty length-prefixed fields + 4-byte CRC.
+        assert_eq!(r.encoded_len(), 18);
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_test_vector() {
+        assert_eq!(Crc32::of(b"123456789"), 0xCBF4_3926);
+        assert_eq!(Crc32::of(b""), 0);
+        // Streaming in pieces equals one-shot.
+        let mut crc = Crc32::new();
+        crc.update(b"1234");
+        crc.update(b"56789");
+        assert_eq!(crc.finish(), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn any_single_flipped_bit_is_detected() {
+        let encoded = sample().encode().to_vec();
+        for byte in 0..encoded.len() {
+            for bit in 0..8 {
+                let mut damaged = encoded.clone();
+                damaged[byte] ^= 1 << bit;
+                assert!(
+                    ResultRecord::decode(&mut damaged.as_slice()).is_err(),
+                    "flip of byte {byte} bit {bit} must not decode silently"
+                );
+            }
+        }
     }
 
     #[test]

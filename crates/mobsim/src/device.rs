@@ -226,6 +226,34 @@ impl Device {
         }
     }
 
+    /// A bare radio exchange with no browser render — the shape of a
+    /// background fetch, e.g. re-downloading a damaged database file's
+    /// records during corruption recovery. Charges the transfer time at
+    /// radio power and reports the energy it cost.
+    pub fn fetch_via_radio(
+        &mut self,
+        kind: RadioKind,
+        request_bytes: u64,
+        response_bytes: u64,
+    ) -> ServiceReport {
+        let start_energy = self.meter.total();
+        let now = self.clock;
+        let radio = self.radio_mut(kind);
+        let transfer = radio.transfer(now, request_bytes, response_bytes);
+        let radio_power = self.config.base_power + transfer.active_extra_power;
+        self.advance(transfer.total_time, radio_power, format!("{kind} fetch"));
+        let breakdown = ServiceBreakdown {
+            radio: transfer.total_time,
+            ..ServiceBreakdown::default()
+        };
+        ServiceReport {
+            total_time: breakdown.total(),
+            energy: self.energy_since(start_energy),
+            breakdown,
+            transfer: Some(transfer),
+        }
+    }
+
     /// Charges an arbitrary activity against the clock and energy meter.
     pub fn advance(&mut self, duration: SimDuration, power: Power, label: impl Into<String>) {
         if duration == SimDuration::ZERO {
@@ -379,6 +407,24 @@ mod tests {
             peak,
             d.config().base_power + RadioKind::ThreeG.default_model().active_extra_power
         );
+    }
+
+    #[test]
+    fn background_fetch_skips_lookup_and_render() {
+        let mut d = Device::with_defaults();
+        let fetch = d.fetch_via_radio(RadioKind::ThreeG, 800, 50_000);
+        assert_eq!(fetch.breakdown.lookup, SimDuration::ZERO);
+        assert_eq!(fetch.breakdown.render, SimDuration::ZERO);
+        assert_eq!(fetch.breakdown.radio, fetch.total_time);
+        let transfer = fetch.transfer.expect("radio was used");
+        assert_eq!(transfer.total_time, fetch.total_time);
+
+        // Same payload through the full miss path costs strictly more
+        // (lookup + render on top of the same exchange).
+        let mut d2 = Device::with_defaults();
+        let miss = d2.serve_via_radio(RadioKind::ThreeG);
+        assert!(miss.total_time > fetch.total_time);
+        assert!(miss.energy.millijoules() > fetch.energy.millijoules());
     }
 
     #[test]

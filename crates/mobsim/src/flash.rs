@@ -7,13 +7,86 @@
 //! per-page latency, so scanning a large file header costs real time.
 //! [`FlashStore`] is a simulated file store that accounts for both, and is
 //! the substrate under the `flashdb` crate.
+//!
+//! The store also models NAND media wear: every file carries a list of
+//! physical blocks, each block counts its erase cycles, and once a block
+//! is erased past [`WearModel::safe_erase_cycles`] it deterministically
+//! develops stuck-at-0/stuck-at-1 bit failures that corrupt subsequent
+//! reads. Programming is physically a bitwise AND (NAND cells can only be
+//! cleared without an erase — see [`FlashStore::program`]), which is what
+//! makes the corruption model consistent: an erase resets content, but a
+//! stuck cell keeps lying no matter what lands on it. Wear injection is
+//! off by default and provably zero-cost when disabled: erase accounting
+//! runs unconditionally (it is cheap, deterministic bookkeeping), but no
+//! read is ever altered unless [`WearModel::enabled`] is set.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
 use crate::time::SimDuration;
+
+/// Media-wear parameters: when blocks start failing and how fast.
+///
+/// Disabled by default; with `enabled = false` the store still counts
+/// erase cycles (telemetry) but never corrupts a read, so all existing
+/// behavior is bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WearModel {
+    /// Whether worn blocks corrupt reads. Off by default.
+    pub enabled: bool,
+    /// Erase cycles a block tolerates before bit failures begin.
+    pub safe_erase_cycles: u64,
+    /// Past the safe threshold, a new stuck bit appears every this many
+    /// additional erases (1 = every erase). Values of 0 are treated as 1.
+    pub bit_failure_every: u64,
+    /// Seed for the deterministic stuck-bit position/polarity draw.
+    pub seed: u64,
+}
+
+impl Default for WearModel {
+    /// Wear injection disabled; threshold parameters sized for a small
+    /// simulated part (real NAND tolerates 10⁴–10⁵ cycles, but tests and
+    /// month-scale scenarios need failures within hundreds of erases).
+    fn default() -> Self {
+        WearModel {
+            enabled: false,
+            safe_erase_cycles: 100,
+            bit_failure_every: 4,
+            seed: 0x5EED_F1A5,
+        }
+    }
+}
+
+impl WearModel {
+    /// An enabled wear model with the default threshold and the given seed.
+    pub fn enabled_with_seed(seed: u64) -> Self {
+        WearModel {
+            enabled: true,
+            seed,
+            ..WearModel::default()
+        }
+    }
+}
+
+/// How the store picks a physical block when a file needs one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum AllocPolicy {
+    /// Reuse the lowest-numbered free block (the naive baseline: rewrites
+    /// hammer the same physical blocks, concentrating wear).
+    #[default]
+    LowestId,
+    /// Wear-leveling: keep at least `spares` free blocks in rotation and
+    /// always program the least-erased one, spreading erase cycles across
+    /// the pool. Ties break on the lowest block id, so allocation is fully
+    /// deterministic.
+    LeastWorn {
+        /// Minimum free-pool size the allocator maintains; larger pools
+        /// spread wear over more blocks at the cost of reserved space.
+        spares: u32,
+    },
+}
 
 /// Timing and geometry parameters of the NAND flash part.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -31,25 +104,39 @@ pub struct FlashModel {
     /// Per-existing-file directory lookup cost added to every open; models
     /// filesystem metadata pressure as the file population grows.
     pub dir_lookup_per_file: SimDuration,
+    /// Media-wear model (disabled by default).
+    pub wear: WearModel,
+    /// Block allocation policy (naive lowest-id by default).
+    pub alloc: AllocPolicy,
 }
 
 impl FlashModel {
     /// Bytes a file of `logical` size actually occupies on flash.
+    ///
+    /// Saturates instead of overflowing for absurd logical sizes near
+    /// `u64::MAX` (the rounded size cannot be represented; the caller
+    /// gets the largest representable allocation rather than a panic).
     pub fn allocated_bytes(&self, logical: u64) -> u64 {
         if logical == 0 {
             0
         } else {
-            logical.div_ceil(self.block_bytes) * self.block_bytes
+            let blocks = self.block_bytes.max(1);
+            logical.div_ceil(blocks).saturating_mul(blocks)
         }
     }
 
     /// Number of pages a byte range `[offset, offset+len)` touches.
+    ///
+    /// A zero-length range touches zero pages regardless of offset, and
+    /// ranges whose end would overflow `u64` saturate at the last page
+    /// instead of wrapping around to page zero.
     pub fn pages_touched(&self, offset: u64, len: u64) -> u64 {
         if len == 0 {
             return 0;
         }
-        let first = offset / self.page_bytes;
-        let last = (offset + len - 1) / self.page_bytes;
+        let pages = self.page_bytes.max(1);
+        let first = offset / pages;
+        let last = offset.saturating_add(len - 1) / pages;
         last - first + 1
     }
 
@@ -71,6 +158,8 @@ impl Default for FlashModel {
             program_page: SimDuration::from_micros(600),
             file_open: SimDuration::from_micros(2_500),
             dir_lookup_per_file: SimDuration::from_micros(6),
+            wear: WearModel::default(),
+            alloc: AllocPolicy::default(),
         }
     }
 }
@@ -121,7 +210,62 @@ pub struct TimedRead {
     pub time: SimDuration,
 }
 
-/// A simulated flash file store with block-granular allocation accounting.
+/// A permanently failed NAND cell: one bit in one block that reads back
+/// the same value no matter what was programmed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StuckBit {
+    /// Byte offset of the failed cell within its block.
+    pub offset: u32,
+    /// Single-bit mask selecting the failed cell within the byte.
+    pub mask: u8,
+    /// `true` = stuck-at-1 (reads OR in the mask), `false` = stuck-at-0
+    /// (reads AND out the mask).
+    pub stuck_one: bool,
+}
+
+/// Per-block wear state: erase cycles plus any failed cells.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct BlockState {
+    erase_cycles: u64,
+    stuck: Vec<StuckBit>,
+}
+
+/// Aggregate wear telemetry over every block the store has ever erased.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WearSummary {
+    /// Blocks with at least one erase on record.
+    pub tracked_blocks: usize,
+    /// Total erase operations performed by the store.
+    pub total_erases: u64,
+    /// Highest per-block erase count (0 when nothing was erased).
+    pub max_erase_cycles: u64,
+    /// Lowest per-block erase count among tracked blocks (0 when nothing
+    /// was erased).
+    pub min_erase_cycles: u64,
+    /// Blocks past the wear model's safe threshold.
+    pub worn_blocks: usize,
+    /// Total stuck bits injected so far.
+    pub stuck_bits: usize,
+}
+
+impl WearSummary {
+    /// Spread between the most- and least-erased tracked block; the
+    /// quantity a wear-leveling allocator minimizes.
+    pub fn erase_spread(&self) -> u64 {
+        self.max_erase_cycles - self.min_erase_cycles
+    }
+}
+
+/// SplitMix64 finalizer: the deterministic hash behind stuck-bit draws.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A simulated flash file store with block-granular allocation accounting
+/// and a NAND wear model (per-block erase cycles, stuck-bit failures).
 ///
 /// # Example
 ///
@@ -133,11 +277,23 @@ pub struct TimedRead {
 /// // A 500-byte file still occupies one whole 4 KiB block.
 /// assert_eq!(flash.allocated_bytes(), 4_096);
 /// assert_eq!(flash.fragmentation_bytes(), 3_596);
+/// // And that block has been erased exactly once.
+/// assert_eq!(flash.wear_summary().total_erases, 1);
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FlashStore {
     model: FlashModel,
     files: BTreeMap<String, Vec<u8>>,
+    /// Wear state per physical block id.
+    blocks: BTreeMap<u64, BlockState>,
+    /// Physical blocks backing each file, in logical order.
+    file_blocks: BTreeMap<String, Vec<u64>>,
+    /// Blocks released by rewrites/removals, available for reuse.
+    free: BTreeSet<u64>,
+    /// Next never-used physical block id.
+    next_block: u64,
+    /// Total erase operations performed.
+    total_erases: u64,
 }
 
 impl FlashStore {
@@ -146,12 +302,27 @@ impl FlashStore {
         FlashStore {
             model,
             files: BTreeMap::new(),
+            blocks: BTreeMap::new(),
+            file_blocks: BTreeMap::new(),
+            free: BTreeSet::new(),
+            next_block: 0,
+            total_erases: 0,
         }
     }
 
     /// The flash part parameters.
     pub fn model(&self) -> &FlashModel {
         &self.model
+    }
+
+    /// Replaces the wear model (threshold, seed, enablement) in place.
+    pub fn set_wear(&mut self, wear: WearModel) {
+        self.model.wear = wear;
+    }
+
+    /// Replaces the block allocation policy in place.
+    pub fn set_alloc_policy(&mut self, alloc: AllocPolicy) {
+        self.model.alloc = alloc;
     }
 
     /// Number of files currently stored.
@@ -192,25 +363,237 @@ impl FlashStore {
         self.model.file_open + self.model.dir_lookup_per_file * self.files.len() as u64
     }
 
+    // ---- wear accounting ------------------------------------------------
+
+    /// Whole blocks a file of `len` logical bytes needs.
+    fn blocks_needed(&self, len: u64) -> u64 {
+        if len == 0 {
+            0
+        } else {
+            len.div_ceil(self.model.block_bytes.max(1))
+        }
+    }
+
+    /// Erase cycles recorded for a block (0 if never erased).
+    pub fn erase_cycles(&self, block: u64) -> u64 {
+        self.blocks.get(&block).map_or(0, |s| s.erase_cycles)
+    }
+
+    /// Physical blocks backing a file, in logical order.
+    pub fn file_block_ids(&self, name: &str) -> Option<&[u64]> {
+        self.file_blocks.get(name).map(Vec::as_slice)
+    }
+
+    /// Per-block wear telemetry: `(block id, erase cycles, stuck bits)`.
+    pub fn block_wear(&self) -> impl Iterator<Item = (u64, u64, usize)> + '_ {
+        self.blocks
+            .iter()
+            .map(|(id, s)| (*id, s.erase_cycles, s.stuck.len()))
+    }
+
+    /// Aggregate wear telemetry across all tracked blocks.
+    pub fn wear_summary(&self) -> WearSummary {
+        let mut summary = WearSummary {
+            tracked_blocks: self.blocks.len(),
+            total_erases: self.total_erases,
+            ..WearSummary::default()
+        };
+        let mut min = u64::MAX;
+        for state in self.blocks.values() {
+            summary.max_erase_cycles = summary.max_erase_cycles.max(state.erase_cycles);
+            min = min.min(state.erase_cycles);
+            summary.stuck_bits += state.stuck.len();
+            if state.erase_cycles > self.model.wear.safe_erase_cycles {
+                summary.worn_blocks += 1;
+            }
+        }
+        if !self.blocks.is_empty() {
+            summary.min_erase_cycles = min;
+        }
+        summary
+    }
+
+    /// Counts one erase of `block`, injecting a stuck bit if the block is
+    /// past its safe life and the failure cadence fires. Deterministic in
+    /// `(seed, block id, erase count)`.
+    fn record_erase(&mut self, block: u64) {
+        let wear = self.model.wear;
+        let block_bytes = self.model.block_bytes.max(1);
+        self.total_erases += 1;
+        let state = self.blocks.entry(block).or_default();
+        state.erase_cycles += 1;
+        if !wear.enabled || state.erase_cycles <= wear.safe_erase_cycles {
+            return;
+        }
+        let past = state.erase_cycles - wear.safe_erase_cycles;
+        if !past.is_multiple_of(wear.bit_failure_every.max(1)) {
+            return;
+        }
+        let draw = mix64(wear.seed ^ mix64(block).wrapping_add(mix64(state.erase_cycles)));
+        let stuck = StuckBit {
+            offset: (draw % block_bytes) as u32,
+            mask: 1u8 << ((draw >> 40) % 8),
+            stuck_one: (draw >> 50) & 1 == 1,
+        };
+        // A re-draw of an already-failed cell replaces it (at most one
+        // record per cell keeps the overlay bounded and deterministic).
+        state
+            .stuck
+            .retain(|s| !(s.offset == stuck.offset && s.mask == stuck.mask));
+        state.stuck.push(stuck);
+    }
+
+    /// Bumps a block's erase count by `cycles` without moving any data —
+    /// a test accelerant for reaching the wear threshold quickly. Each
+    /// simulated cycle runs the same failure-injection draw a real erase
+    /// would.
+    pub fn age_block(&mut self, block: u64, cycles: u64) {
+        for _ in 0..cycles {
+            self.record_erase(block);
+        }
+    }
+
+    /// Picks (and erases) a physical block for new data according to the
+    /// allocation policy.
+    fn allocate_block(&mut self) -> u64 {
+        let reused = match self.model.alloc {
+            AllocPolicy::LowestId => self.free.iter().next().copied(),
+            AllocPolicy::LeastWorn { spares } => {
+                // Keep the rotation pool stocked so wear can spread.
+                while self.free.len() < spares as usize {
+                    self.free.insert(self.next_block);
+                    self.next_block += 1;
+                }
+                self.free
+                    .iter()
+                    .copied()
+                    .min_by_key(|b| (self.erase_cycles(*b), *b))
+            }
+        };
+        let block = match reused {
+            Some(block) => {
+                self.free.remove(&block);
+                block
+            }
+            None => {
+                let block = self.next_block;
+                self.next_block += 1;
+                block
+            }
+        };
+        self.record_erase(block);
+        block
+    }
+
+    /// Returns a file's blocks to the free pool (no erase: blocks are
+    /// erased when next programmed).
+    fn release_blocks(&mut self, name: &str) {
+        if let Some(ids) = self.file_blocks.remove(name) {
+            self.free.extend(ids);
+        }
+    }
+
+    /// Physical block ids covering the byte range `[offset, offset+len)`
+    /// of a file.
+    fn blocks_in_range(&self, name: &str, offset: u64, len: u64) -> Vec<u64> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let Some(ids) = self.file_blocks.get(name) else {
+            return Vec::new();
+        };
+        let block_bytes = self.model.block_bytes.max(1);
+        let first = offset / block_bytes;
+        let last = offset.saturating_add(len - 1) / block_bytes;
+        (first..=last)
+            .filter_map(|i| usize::try_from(i).ok())
+            .filter_map(|i| ids.get(i).copied())
+            .collect()
+    }
+
+    /// Applies stuck-bit corruption from worn blocks to freshly read
+    /// bytes. A no-op unless wear injection is enabled.
+    fn apply_stuck_bits(&self, name: &str, offset: u64, data: &mut [u8]) {
+        if !self.model.wear.enabled || data.is_empty() {
+            return;
+        }
+        let Some(ids) = self.file_blocks.get(name) else {
+            return;
+        };
+        let block_bytes = self.model.block_bytes.max(1);
+        let len = data.len() as u64;
+        let first = offset / block_bytes;
+        let last = offset.saturating_add(len - 1) / block_bytes;
+        for index in first..=last {
+            let Some(state) = usize::try_from(index)
+                .ok()
+                .and_then(|i| ids.get(i))
+                .and_then(|id| self.blocks.get(id))
+            else {
+                continue;
+            };
+            for bit in &state.stuck {
+                let position = index * block_bytes + u64::from(bit.offset);
+                if position < offset || position >= offset.saturating_add(len) {
+                    continue;
+                }
+                let byte = &mut data[(position - offset) as usize];
+                if bit.stuck_one {
+                    *byte |= bit.mask;
+                } else {
+                    *byte &= !bit.mask;
+                }
+            }
+        }
+    }
+
+    // ---- file operations ------------------------------------------------
+
     /// Creates or replaces a file, returning the simulated program time.
+    ///
+    /// Replacing a file releases its old blocks and erases freshly
+    /// allocated ones (one erase per block the new content needs), which
+    /// is what makes rewrite-heavy update protocols wear the media.
     pub fn write_file(&mut self, name: impl Into<String>, data: Vec<u8>) -> SimDuration {
+        let name = name.into();
         let pages = self.model.pages_touched(0, data.len() as u64);
-        self.files.insert(name.into(), data);
+        self.release_blocks(&name);
+        let needed = self.blocks_needed(data.len() as u64);
+        let ids: Vec<u64> = (0..needed).map(|_| self.allocate_block()).collect();
+        self.file_blocks.insert(name.clone(), ids);
+        self.files.insert(name, data);
         self.model.program_page * pages
     }
 
     /// Appends to a file (creating it if absent), returning `(offset at
     /// which the data landed, simulated program time)`.
+    ///
+    /// Only newly allocated blocks are erased; programming into the free
+    /// tail of the last block costs no erase (NAND programs erased cells
+    /// directly).
     pub fn append(&mut self, name: &str, data: &[u8]) -> (u64, SimDuration) {
         let file = self.files.entry(name.to_owned()).or_default();
         let offset = file.len() as u64;
         file.extend_from_slice(data);
+        let new_len = file.len() as u64;
         let pages = self.model.pages_touched(offset, data.len() as u64);
+        let needed = self.blocks_needed(new_len);
+        let have = self.file_blocks.get(name).map_or(0, Vec::len) as u64;
+        for _ in have..needed {
+            let block = self.allocate_block();
+            self.file_blocks
+                .entry(name.to_owned())
+                .or_default()
+                .push(block);
+        }
+        self.file_blocks.entry(name.to_owned()).or_default();
         (offset, self.model.program_page * pages)
     }
 
     /// Overwrites bytes at `offset` in place (a managed-NAND
     /// read-modify-write), charging program time for the pages touched.
+    /// Every block the range covers takes one erase cycle — in-place
+    /// updates are where wear actually comes from.
     ///
     /// # Errors
     ///
@@ -229,22 +612,70 @@ impl FlashStore {
             .ok_or_else(|| FlashError::FileNotFound(name.to_owned()))?;
         let size = file.len() as u64;
         let len = data.len() as u64;
-        if offset + len > size {
-            return Err(FlashError::ReadPastEnd {
-                file: name.to_owned(),
-                size,
-                offset,
-                len,
-            });
+        let end = match offset.checked_add(len) {
+            Some(end) if end <= size => end,
+            _ => {
+                return Err(FlashError::ReadPastEnd {
+                    file: name.to_owned(),
+                    size,
+                    offset,
+                    len,
+                })
+            }
+        };
+        file[offset as usize..end as usize].copy_from_slice(data);
+        for block in self.blocks_in_range(name, offset, len) {
+            self.record_erase(block);
         }
-        file[offset as usize..(offset + len) as usize].copy_from_slice(data);
+        Ok(model.program_page * model.pages_touched(offset, len))
+    }
+
+    /// Programs bytes at `offset` without an erase: NAND programming can
+    /// only clear cells, so each stored byte becomes `old & new`. Costs
+    /// program time but no erase cycles — the cheap (and lossy) way to
+    /// update in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::FileNotFound`] for unknown names and
+    /// [`FlashError::ReadPastEnd`] when the range exceeds the file.
+    pub fn program(
+        &mut self,
+        name: &str,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<SimDuration, FlashError> {
+        let model = self.model;
+        let file = self
+            .files
+            .get_mut(name)
+            .ok_or_else(|| FlashError::FileNotFound(name.to_owned()))?;
+        let size = file.len() as u64;
+        let len = data.len() as u64;
+        let end = match offset.checked_add(len) {
+            Some(end) if end <= size => end,
+            _ => {
+                return Err(FlashError::ReadPastEnd {
+                    file: name.to_owned(),
+                    size,
+                    offset,
+                    len,
+                })
+            }
+        };
+        for (cell, programmed) in file[offset as usize..end as usize].iter_mut().zip(data) {
+            *cell &= programmed;
+        }
         Ok(model.program_page * model.pages_touched(offset, len))
     }
 
     /// Reads `len` bytes at `offset`, charging page-granular read time.
     ///
     /// The [`open_cost`](Self::open_cost) is *not* included; callers that
-    /// model an open-per-access pattern add it explicitly.
+    /// model an open-per-access pattern add it explicitly. When wear
+    /// injection is enabled, stuck bits in worn blocks corrupt the
+    /// returned bytes (the stored data is untouched — the cells lie on
+    /// the way out).
     ///
     /// # Errors
     ///
@@ -256,21 +687,27 @@ impl FlashStore {
             .get(name)
             .ok_or_else(|| FlashError::FileNotFound(name.to_owned()))?;
         let size = file.len() as u64;
-        if offset + len > size {
-            return Err(FlashError::ReadPastEnd {
-                file: name.to_owned(),
-                size,
-                offset,
-                len,
-            });
-        }
-        let data = file[offset as usize..(offset + len) as usize].to_vec();
+        let end = match offset.checked_add(len) {
+            Some(end) if end <= size => end,
+            _ => {
+                return Err(FlashError::ReadPastEnd {
+                    file: name.to_owned(),
+                    size,
+                    offset,
+                    len,
+                })
+            }
+        };
+        let mut data = file[offset as usize..end as usize].to_vec();
+        self.apply_stuck_bits(name, offset, &mut data);
         let time = self.model.read_page * self.model.pages_touched(offset, len);
         Ok(TimedRead { data, time })
     }
 
-    /// Removes a file, returning whether it existed.
+    /// Removes a file, returning whether it existed. Its blocks return to
+    /// the free pool without an erase.
     pub fn remove(&mut self, name: &str) -> bool {
+        self.release_blocks(name);
         self.files.remove(name).is_some()
     }
 }
@@ -305,6 +742,51 @@ mod tests {
         assert_eq!(m.pages_touched(0, 2_048), 1);
         assert_eq!(m.pages_touched(2_047, 2), 2);
         assert_eq!(m.pages_touched(1_000, 4_096), 3);
+    }
+
+    #[test]
+    fn pages_touched_boundary_cases() {
+        let m = FlashModel::default();
+        // Offset exactly on a page boundary.
+        assert_eq!(m.pages_touched(2_048, 1), 1);
+        assert_eq!(m.pages_touched(2_048, 2_048), 1);
+        assert_eq!(m.pages_touched(2_048, 2_049), 2);
+        // A whole block's worth of bytes from a block boundary.
+        assert_eq!(m.pages_touched(4_096, 4_096), 2);
+        // Zero-length at any offset, including extreme ones.
+        assert_eq!(m.pages_touched(u64::MAX, 0), 0);
+        // Ranges whose end would overflow u64 must not wrap to page 0.
+        let huge = m.pages_touched(u64::MAX - 1, 4);
+        assert!(huge >= 1, "saturated, not wrapped: {huge}");
+    }
+
+    #[test]
+    fn allocated_bytes_saturates_instead_of_overflowing() {
+        let m = FlashModel::default();
+        // Rounding u64::MAX up to a block multiple cannot be represented;
+        // saturating beats panicking or wrapping to a tiny number.
+        assert_eq!(m.allocated_bytes(u64::MAX), u64::MAX);
+        assert_eq!(m.allocated_bytes(u64::MAX - 4_096), u64::MAX - 4_095);
+    }
+
+    #[test]
+    fn bounds_checks_do_not_overflow() {
+        let mut fs = FlashStore::new(FlashModel::default());
+        fs.write_file("f", vec![0u8; 16]);
+        // offset + len wraps u64 — must be an error, not a successful
+        // read through a wrapped bounds check.
+        assert!(matches!(
+            fs.read("f", u64::MAX, 2),
+            Err(FlashError::ReadPastEnd { .. })
+        ));
+        assert!(matches!(
+            fs.overwrite("f", u64::MAX, &[1, 2]),
+            Err(FlashError::ReadPastEnd { .. })
+        ));
+        assert!(matches!(
+            fs.program("f", u64::MAX, &[1, 2]),
+            Err(FlashError::ReadPastEnd { .. })
+        ));
     }
 
     #[test]
@@ -396,5 +878,225 @@ mod tests {
         let m = FlashModel::default();
         // 2048 B / 300 us = ~6.8 MB/s.
         assert!((m.read_bandwidth_bps() / 1e6 - 6.83).abs() < 0.01);
+    }
+
+    // ---- wear model -----------------------------------------------------
+
+    #[test]
+    fn erase_cycles_count_per_operation() {
+        let mut fs = FlashStore::new(FlashModel::default());
+        // Fresh two-block file: one erase per block.
+        fs.write_file("f", vec![0u8; 8_192]);
+        assert_eq!(fs.wear_summary().total_erases, 2);
+        // In-place overwrite inside one block: one more erase on that block.
+        fs.overwrite("f", 0, &[1, 2, 3]).unwrap();
+        assert_eq!(fs.wear_summary().total_erases, 3);
+        // Overwrite straddling both blocks: two erases.
+        fs.overwrite("f", 4_090, &[0u8; 12]).unwrap();
+        assert_eq!(fs.wear_summary().total_erases, 5);
+        // Append within the last block's free space: no erase...
+        fs.write_file("g", vec![0u8; 100]);
+        let erases = fs.wear_summary().total_erases;
+        fs.append("g", &[7; 10]);
+        assert_eq!(fs.wear_summary().total_erases, erases);
+        // ...but growing past the block allocates (and erases) a new one.
+        fs.append("g", &vec![7u8; 4_096]);
+        assert_eq!(fs.wear_summary().total_erases, erases + 1);
+    }
+
+    #[test]
+    fn zero_length_writes_to_worn_blocks_are_free_and_harmless() {
+        let mut model = FlashModel::default();
+        model.wear = WearModel::enabled_with_seed(7);
+        let mut fs = FlashStore::new(model);
+        fs.write_file("f", vec![0xAA; 64]);
+        let block = fs.file_block_ids("f").unwrap()[0];
+        fs.age_block(block, 500);
+        let before = fs.wear_summary();
+        assert!(before.stuck_bits > 0, "aging injected failures");
+
+        let t = fs.overwrite("f", 0, &[]).unwrap();
+        assert_eq!(t, SimDuration::ZERO);
+        let (off, t) = fs.append("f", &[]);
+        assert_eq!((off, t), (64, SimDuration::ZERO));
+        assert_eq!(
+            fs.wear_summary(),
+            before,
+            "zero-len writes cost no erases and inject nothing"
+        );
+        // Zero-length reads of a worn file are legal and empty.
+        assert_eq!(fs.read("f", 64, 0).unwrap().data, Vec::<u8>::new());
+    }
+
+    #[test]
+    fn wear_disabled_reads_are_clean_even_after_heavy_rewrites() {
+        let mut fs = FlashStore::new(FlashModel::default());
+        for _ in 0..1_000 {
+            fs.write_file("f", vec![0x5A; 256]);
+        }
+        assert!(fs.wear_summary().max_erase_cycles >= 1_000);
+        assert_eq!(fs.wear_summary().stuck_bits, 0, "injection is off");
+        assert_eq!(fs.read("f", 0, 256).unwrap().data, vec![0x5A; 256]);
+    }
+
+    #[test]
+    fn worn_blocks_develop_deterministic_stuck_bits() {
+        let build = || {
+            let mut model = FlashModel::default();
+            model.wear = WearModel {
+                enabled: true,
+                safe_erase_cycles: 10,
+                bit_failure_every: 2,
+                seed: 42,
+            };
+            let mut fs = FlashStore::new(model);
+            fs.write_file("f", vec![0x00; 4_096]);
+            for _ in 0..29 {
+                fs.write_file("f", vec![0x00; 4_096]);
+            }
+            fs
+        };
+        let a = build();
+        let b = build();
+        // 30 erases, threshold 10, cadence 2 -> draws at cycles 12,14,...,30.
+        assert!(a.wear_summary().stuck_bits > 0);
+        assert!(a.wear_summary().stuck_bits <= 10);
+        assert_eq!(a, b, "identical history => identical wear state");
+        assert_eq!(
+            a.read("f", 0, 4_096).unwrap().data,
+            b.read("f", 0, 4_096).unwrap().data,
+            "corruption is deterministic in the seed"
+        );
+        // Stored zeros read back with every stuck-at-1 cell set.
+        let ones: usize = a
+            .read("f", 0, 4_096)
+            .unwrap()
+            .data
+            .iter()
+            .map(|b| b.count_ones() as usize)
+            .sum();
+        let expected: usize = a
+            .blocks
+            .values()
+            .flat_map(|s| &s.stuck)
+            .filter(|s| s.stuck_one)
+            .count();
+        assert_eq!(ones, expected, "exactly the stuck-at-1 cells read as 1");
+    }
+
+    #[test]
+    fn stuck_at_zero_clears_bits_on_read() {
+        let mut model = FlashModel::default();
+        model.wear = WearModel {
+            enabled: true,
+            safe_erase_cycles: 0,
+            bit_failure_every: 1,
+            seed: 3,
+        };
+        let mut fs = FlashStore::new(model);
+        fs.write_file("f", vec![0xFF; 4_096]);
+        let block = fs.file_block_ids("f").unwrap()[0];
+        fs.age_block(block, 64);
+        let zeros: usize = fs
+            .read("f", 0, 4_096)
+            .unwrap()
+            .data
+            .iter()
+            .map(|b| b.count_zeros() as usize)
+            .sum();
+        let expected: usize = fs
+            .blocks
+            .values()
+            .flat_map(|s| &s.stuck)
+            .filter(|s| !s.stuck_one)
+            .count();
+        assert_eq!(
+            zeros, expected,
+            "stored 0xFF reads back 0 exactly at stuck-at-0 cells"
+        );
+        // The stored bytes themselves are untouched: disabling wear
+        // makes the file read clean again (cells lie only on the way out).
+        fs.set_wear(WearModel::default());
+        assert_eq!(fs.read("f", 0, 4_096).unwrap().data, vec![0xFF; 4_096]);
+    }
+
+    #[test]
+    fn stuck_bits_outside_the_read_range_do_not_corrupt_it() {
+        let mut model = FlashModel::default();
+        model.wear = WearModel::enabled_with_seed(9);
+        let mut fs = FlashStore::new(model);
+        fs.write_file("f", vec![0x00; 8_192]);
+        let second = fs.file_block_ids("f").unwrap()[1];
+        fs.age_block(second, 400);
+        assert!(fs.wear_summary().stuck_bits > 0);
+        // Block 0 is healthy; reads confined to it stay clean.
+        assert_eq!(fs.read("f", 0, 4_096).unwrap().data, vec![0x00; 4_096]);
+    }
+
+    #[test]
+    fn program_is_bitwise_and_without_erase() {
+        let mut fs = FlashStore::new(FlashModel::default());
+        fs.write_file("f", vec![0b1111_0000; 4]);
+        let erases = fs.wear_summary().total_erases;
+        let t = fs.program("f", 0, &[0b1010_1010; 4]).unwrap();
+        assert_eq!(t, FlashModel::default().program_page);
+        assert_eq!(
+            fs.read("f", 0, 4).unwrap().data,
+            vec![0b1010_0000; 4],
+            "program can only clear bits"
+        );
+        assert_eq!(
+            fs.wear_summary().total_erases,
+            erases,
+            "programming erased nothing"
+        );
+        assert!(fs.program("missing", 0, &[0]).is_err());
+    }
+
+    #[test]
+    fn lowest_id_policy_concentrates_wear() {
+        let mut fs = FlashStore::new(FlashModel::default());
+        for _ in 0..50 {
+            fs.write_file("f", vec![0u8; 100]);
+        }
+        // The naive allocator reuses block 0 every time.
+        assert_eq!(fs.file_block_ids("f"), Some(&[0u64][..]));
+        assert_eq!(fs.erase_cycles(0), 50);
+        assert_eq!(fs.wear_summary().tracked_blocks, 1);
+    }
+
+    #[test]
+    fn least_worn_policy_rotates_across_spares() {
+        let mut model = FlashModel::default();
+        model.alloc = AllocPolicy::LeastWorn { spares: 4 };
+        let mut fs = FlashStore::new(model);
+        for _ in 0..50 {
+            fs.write_file("f", vec![0u8; 100]);
+        }
+        let summary = fs.wear_summary();
+        assert!(
+            summary.tracked_blocks >= 4,
+            "wear spread over the spare pool: {summary:?}"
+        );
+        assert!(
+            summary.erase_spread() <= 2,
+            "least-worn keeps blocks within a couple cycles: {summary:?}"
+        );
+        assert_eq!(summary.total_erases, 50);
+    }
+
+    #[test]
+    fn removed_files_release_blocks_for_reuse() {
+        let mut fs = FlashStore::new(FlashModel::default());
+        fs.write_file("a", vec![0u8; 100]);
+        fs.write_file("b", vec![0u8; 100]);
+        assert_eq!(fs.file_block_ids("b"), Some(&[1u64][..]));
+        fs.remove("a");
+        fs.write_file("c", vec![0u8; 100]);
+        assert_eq!(
+            fs.file_block_ids("c"),
+            Some(&[0u64][..]),
+            "lowest-id reuses the freed block"
+        );
     }
 }

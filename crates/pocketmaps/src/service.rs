@@ -26,6 +26,7 @@ impl PocketMaps {
             stale_hits: 0,
             misses: stats.renders - stats.instant_renders,
             skipped: 0,
+            recovered: 0,
             radio_bytes: stats.radio_bytes,
             busy: SimDuration::ZERO,
         }

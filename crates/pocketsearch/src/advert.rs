@@ -160,6 +160,7 @@ impl cloudlet_core::service::CloudletService for AdCloudlet {
             stale_hits: 0,
             misses: self.misses,
             skipped: self.skipped,
+            recovered: 0,
             radio_bytes: 0,
             busy: mobsim::time::SimDuration::ZERO,
         }

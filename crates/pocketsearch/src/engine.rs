@@ -1,6 +1,6 @@
 //! The PocketSearch engine: cache + database + device, serving queries.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use cloudlet_core::cache::{CacheMode, PocketCache};
@@ -89,6 +89,39 @@ pub struct ServedQuery {
     pub results: Vec<ResultRecord>,
     /// Timing, energy, and breakdown from the device model.
     pub report: ServiceReport,
+    /// When the cache indexed this query but its stored records could
+    /// not be read, the typed database error that forced the radio
+    /// fallback. `None` for clean hits and ordinary misses.
+    pub degraded: Option<DbError>,
+}
+
+/// Cumulative corruption-recovery telemetry (§5.4 under media wear).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RecoveryStats {
+    /// Serves that found damaged storage and fell back to the radio.
+    pub degraded_serves: u64,
+    /// Database files rebuilt from re-fetched records.
+    pub files_repaired: u64,
+    /// Records re-fetched over the radio during repairs.
+    pub records_refetched: u64,
+    /// Radio bytes the repairs moved (manifest up, records down).
+    pub refetch_bytes: u64,
+    /// Simulated time spent re-fetching and rewriting.
+    pub refetch_time: SimDuration,
+    /// Energy the repairs dissipated.
+    pub refetch_energy: Energy,
+}
+
+impl RecoveryStats {
+    /// Adds another telemetry set into this one.
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.degraded_serves += other.degraded_serves;
+        self.files_repaired += other.files_repaired;
+        self.records_refetched += other.records_refetched;
+        self.refetch_bytes += other.refetch_bytes;
+        self.refetch_time += other.refetch_time;
+        self.refetch_energy += other.refetch_energy;
+    }
 }
 
 /// Report of one nightly update cycle.
@@ -152,6 +185,9 @@ pub struct PocketSearch {
     db: ResultDb,
     device: Device,
     serve_stats: ServeStats,
+    /// Database files flagged corrupt by a serve, awaiting re-fetch.
+    pending_repairs: BTreeSet<usize>,
+    recovery_stats: RecoveryStats,
 }
 
 impl PocketSearch {
@@ -183,6 +219,8 @@ impl PocketSearch {
             db,
             device,
             serve_stats: ServeStats::default(),
+            pending_repairs: BTreeSet::new(),
+            recovery_stats: RecoveryStats::default(),
         }
     }
 
@@ -221,6 +259,7 @@ impl PocketSearch {
     /// flash fetch + render path (hit) or the radio path (miss).
     pub fn serve(&mut self, query_hash: u64) -> ServedQuery {
         let outcome = self.cache.serve(query_hash);
+        let mut degraded = None;
         if outcome.hit {
             // Display the top two results, as in the Figure 1 GUI.
             let top: Vec<u64> = outcome
@@ -229,19 +268,28 @@ impl PocketSearch {
                 .take(2)
                 .map(|r| r.result_hash)
                 .collect();
-            match self.db.get_many(top, self.device.flash()) {
+            match self.db.get_many(top.iter().copied(), self.device.flash()) {
                 Ok((results, fetch_time)) => {
                     let report = self.device.serve_cache_hit(fetch_time);
                     return ServedQuery {
                         hit: true,
                         results,
                         report,
+                        degraded: None,
                     };
                 }
-                Err(_) => {
-                    // An index entry without its record (e.g. a pruned
-                    // database) degrades into a radio miss rather than a
-                    // failure — the user still gets results.
+                Err(e) => {
+                    // An index entry whose record is unreadable (pruned
+                    // database, worn-out flash) degrades into a radio
+                    // miss rather than a failure — the user still gets
+                    // results. Damaged files are queued for re-fetch.
+                    if e.is_corruption() {
+                        self.recovery_stats.degraded_serves += 1;
+                        for &hash in &top {
+                            self.pending_repairs.insert(self.db.file_index(hash));
+                        }
+                    }
+                    degraded = Some(e);
                 }
             }
         }
@@ -250,7 +298,58 @@ impl PocketSearch {
             hit: false,
             results: Vec::new(),
             report,
+            degraded,
         }
+    }
+
+    /// Re-fetches and rebuilds every database file a serve flagged as
+    /// corrupt: the repair manifest (the file's record hashes) goes up,
+    /// authoritative record bodies come back down over the miss radio,
+    /// and the file is rewritten onto freshly allocated blocks — under a
+    /// wear-leveling [`mobsim::flash::AllocPolicy`], off the worn ones.
+    ///
+    /// Returns this pass's telemetry (also folded into
+    /// [`recovery_stats`](Self::recovery_stats)). A pass with nothing
+    /// pending is free.
+    pub fn recover_corrupted(&mut self, catalog: &Catalog) -> RecoveryStats {
+        let pending: Vec<usize> = std::mem::take(&mut self.pending_repairs)
+            .into_iter()
+            .collect();
+        let mut pass = RecoveryStats::default();
+        for file in pending {
+            let hashes = self.db.file_hashes(file);
+            let records: Vec<Arc<ResultRecord>> = hashes
+                .iter()
+                .filter_map(|&h| catalog.record_by_hash(h))
+                .collect();
+            // Manifest of 8-byte hashes up, record bodies down.
+            let request_bytes = 8 * hashes.len() as u64 + 64;
+            let response_bytes: u64 = records.iter().map(|r| r.encoded_len() as u64).sum();
+            let fetch =
+                self.device
+                    .fetch_via_radio(self.config.miss_radio, request_bytes, response_bytes);
+            pass.records_refetched += records.len() as u64;
+            let flash_time = self.db.restore_file(file, records, self.device.flash_mut());
+            let base = self.device.config().base_power;
+            self.device.advance(flash_time, base, "db restore");
+            pass.files_repaired += 1;
+            pass.refetch_bytes += request_bytes + response_bytes;
+            pass.refetch_time += fetch.total_time + flash_time;
+            pass.refetch_energy += fetch.energy + base.over(flash_time);
+        }
+        self.recovery_stats.merge(&pass);
+        pass
+    }
+
+    /// Cumulative corruption-recovery telemetry.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery_stats
+    }
+
+    /// Database files currently flagged corrupt and awaiting
+    /// [`recover_corrupted`](Self::recover_corrupted).
+    pub fn pending_repairs(&self) -> Vec<usize> {
+        self.pending_repairs.iter().copied().collect()
     }
 
     /// Records the user's click: personalizes ranking, caches the pair on
@@ -327,7 +426,12 @@ impl CloudletService for PocketSearch {
             ServeOutcome::hit()
         } else {
             let config = &self.config.device;
-            ServeOutcome::miss(config.request_bytes + config.response_bytes)
+            let radio_bytes = config.request_bytes + config.response_bytes;
+            if served.degraded.as_ref().is_some_and(DbError::is_corruption) {
+                ServeOutcome::recovered_miss(radio_bytes)
+            } else {
+                ServeOutcome::miss(radio_bytes)
+            }
         }
         .with_service(served.report.total_time);
         self.serve_stats.record(&outcome);
@@ -499,6 +603,56 @@ mod tests {
         // Scaled cache: the exchange must stay well under the paper's
         // ~1.5 MB bound for a cache ~6x larger.
         assert!(report.download_bytes < 1_500_000);
+    }
+
+    #[test]
+    fn corruption_degrades_then_recovery_restores_the_hit() {
+        let (_, contents, catalog) = setup();
+        let mut engine = PocketSearch::build(&contents, &catalog, PocketSearchConfig::default());
+        let qh = contents.pairs()[0].query_hash;
+        let first = engine.serve(qh);
+        assert!(first.hit && first.degraded.is_none());
+        let top_hash = first.results[0].result_hash;
+
+        // Smash the whole file storing the displayed record (header
+        // included), the worst case a worn block can produce.
+        let victim = engine.db().file_index(top_hash);
+        let name = engine.db().file_name_of(victim);
+        let size = engine.device().flash().file_size(&name).expect("file");
+        engine
+            .device_mut()
+            .flash_mut()
+            .overwrite(&name, 0, &vec![0xFF; size as usize])
+            .expect("in bounds");
+
+        let broken = engine.serve(qh);
+        assert!(!broken.hit, "a broken hit degrades to the radio");
+        assert!(
+            broken.degraded.as_ref().is_some_and(DbError::is_corruption),
+            "degradation carries a typed corruption error: {:?}",
+            broken.degraded
+        );
+        assert_eq!(engine.pending_repairs(), vec![victim]);
+        assert_eq!(engine.recovery_stats().degraded_serves, 1);
+
+        let pass = engine.recover_corrupted(&catalog);
+        assert_eq!(pass.files_repaired, 1);
+        assert!(pass.records_refetched > 0);
+        assert!(pass.refetch_bytes > 0);
+        assert!(pass.refetch_time > SimDuration::ZERO);
+        assert!(engine.pending_repairs().is_empty());
+        engine
+            .db()
+            .verify(engine.device().flash())
+            .expect("restored file verifies");
+
+        let healed = engine.serve(qh);
+        assert!(healed.hit, "the re-fetched file serves hits again");
+        assert_eq!(healed.results[0].result_hash, top_hash);
+
+        // An idle recovery pass is free.
+        let idle = engine.recover_corrupted(&catalog);
+        assert_eq!(idle, RecoveryStats::default());
     }
 
     #[test]

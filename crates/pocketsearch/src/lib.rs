@@ -58,7 +58,7 @@ pub mod suggest;
 
 pub use advert::{AdCloudlet, AdOutcome};
 pub use config::PocketSearchConfig;
-pub use engine::{Catalog, PocketSearch, ServedQuery};
+pub use engine::{Catalog, PocketSearch, RecoveryStats, ServedQuery};
 pub use fleet::{FleetEvent, FleetReport, ServeRouter, ShardReport};
 pub use navigation::navigation_time;
 pub use replay::{replay_population, replay_user, ClassSummary, ReplayOutcome};

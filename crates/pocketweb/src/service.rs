@@ -59,6 +59,7 @@ impl WebService {
             stale_hits: stats.stale_refetches,
             misses: stats.misses,
             skipped: 0,
+            recovered: 0,
             radio_bytes: stats.radio_bytes(),
             busy: mobsim::time::SimDuration::ZERO,
         }

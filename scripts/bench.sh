@@ -8,6 +8,8 @@
 #     coalesced/stolen counts per front-end config.
 #   BENCH_arbiter.json  — static vs adaptive aggregate hit ratio plus the
 #     per-epoch grant/priority log under the flipping skewed workload.
+#   BENCH_wear.json     — hit ratio, corruption-shed rate, and re-fetch
+#     radio bytes/energy across the wear-threshold x allocation sweep.
 #
 # Usage: scripts/bench.sh [--full]   (--full runs the paper-scale sweeps;
 # the committed artifacts are the test-scale ones.)
@@ -24,3 +26,6 @@ cargo run --release -q -p pocket-bench --bin ablations -- \
 
 cargo run --release -q -p pocket-bench --bin ablations -- \
   --study arbiter ${scale_flag} --seed 2011 --out BENCH_arbiter.json
+
+cargo run --release -q -p pocket-bench --bin ablations -- \
+  --study wear ${scale_flag} --seed 2011 --out BENCH_wear.json

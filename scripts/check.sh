@@ -17,6 +17,9 @@ cargo build --release
 echo "==> cargo test -q -p cloudlet-core --lib arbiter (fast arbiter gate)"
 cargo test -q -p cloudlet-core --lib arbiter
 
+echo "==> cargo test -q -p mobsim --lib flash (fast wear-model gate)"
+cargo test -q -p mobsim --lib flash
+
 echo "==> cargo test -q"
 cargo test -q
 

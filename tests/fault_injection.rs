@@ -198,6 +198,119 @@ fn reads_past_eof_are_rejected_not_padded() {
     ));
 }
 
+mod wear_properties {
+    use super::*;
+    use pocket_cloudlets::mobsim::flash::{AllocPolicy, WearModel, WearSummary};
+    use proptest::prelude::*;
+
+    /// A flash store whose blocks start corrupting reads after only two
+    /// erases, with stuck-bit draws keyed by `seed`.
+    fn worn_flash(seed: u64) -> FlashStore {
+        let model = FlashModel {
+            wear: WearModel {
+                enabled: true,
+                safe_erase_cycles: 2,
+                bit_failure_every: 1,
+                seed,
+            },
+            ..FlashModel::default()
+        };
+        FlashStore::new(model)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The never-silently-wrong property: however many stuck-at-0/1
+        /// bits a worn block develops, a database read either returns the
+        /// exact record that was stored or a typed `DbError` — the
+        /// record checksum and the header preamble check leave no third
+        /// outcome.
+        #[test]
+        fn stuck_at_reads_are_identical_records_or_typed_errors(
+            seed in any::<u64>(),
+            extra_age in 1u64..48,
+        ) {
+            let mut flash = worn_flash(seed);
+            let db = ResultDb::build((0..20).map(record), DbConfig::with_files(4), &mut flash);
+
+            // Age every block the database landed on past its safe life;
+            // each cycle past the threshold injects one deterministic
+            // stuck bit somewhere in the block.
+            let blocks: Vec<u64> = flash.block_wear().map(|(id, _, _)| id).collect();
+            for b in blocks {
+                flash.age_block(b, 2 + extra_age);
+            }
+            prop_assert!(flash.wear_summary().worn_blocks > 0);
+
+            for h in 0..20u64 {
+                match db.get(h, &flash) {
+                    Ok((r, _)) => prop_assert_eq!(r, record(h), "seed {}", seed),
+                    Err(DbError::NotFound { .. }) => {
+                        prop_assert!(false, "record {h} was inserted; NotFound is wrong")
+                    }
+                    // Any typed corruption error is a legal outcome.
+                    Err(_) => {}
+                }
+            }
+        }
+
+        /// Wear-leveling bound: rewriting one block-sized file N× the
+        /// pool size under `LeastWorn` keeps the max/min erase spread at
+        /// 2 or less (each rewrite erases the least-worn free block, so
+        /// counts advance round-robin), and the whole erase history is
+        /// deterministic for a fixed seed.
+        #[test]
+        fn least_worn_bounds_the_erase_spread_deterministically(
+            seed in any::<u64>(),
+            spares in 2u32..12,
+            rounds in 4u64..12,
+        ) {
+            let run = |seed: u64| -> WearSummary {
+                let mut flash = worn_flash(seed);
+                flash.set_alloc_policy(AllocPolicy::LeastWorn { spares });
+                let block = flash.model().block_bytes as usize;
+                // Pool = the file's block + `spares` free ones; rewrite
+                // `rounds`× the pool size so every block cycles often.
+                for _ in 0..(u64::from(spares) + 1) * rounds {
+                    flash.write_file("hot", vec![0xA5; block]);
+                }
+                flash.wear_summary()
+            };
+            let summary = run(seed);
+            prop_assert_eq!(summary.clone(), run(seed), "same seed, same history");
+            prop_assert!(
+                summary.erase_spread() <= 2,
+                "least-worn keeps the pool level: {:?}",
+                summary
+            );
+            prop_assert_eq!(summary.total_erases, (u64::from(spares) + 1) * rounds);
+        }
+
+        /// The naive lowest-id baseline concentrates the same workload
+        /// onto one block: its spread grows with the round count while
+        /// least-worn's stays flat.
+        #[test]
+        fn lowest_id_concentrates_wear_where_least_worn_spreads_it(
+            rounds in 4u64..12,
+        ) {
+            let mut naive = FlashStore::new(FlashModel::default());
+            let block = naive.model().block_bytes as usize;
+            // Two files so the pool holds more than one block; "cold" is
+            // written once, "hot" rewritten every round.
+            naive.write_file("cold", vec![1; block]);
+            for _ in 0..rounds * 4 {
+                naive.write_file("hot", vec![0xA5; block]);
+            }
+            let spread = naive.wear_summary().erase_spread();
+            prop_assert!(
+                spread >= rounds * 4 - 1,
+                "lowest-id reuses the same block: spread {spread}, rounds {rounds}"
+            );
+        }
+    }
+}
+
 #[test]
 fn update_protocol_survives_hostile_uploads() {
     use pocket_cloudlets::core::hashtable::EntryRecord;
