@@ -14,6 +14,7 @@ pub mod workloads;
 
 pub use render::{ascii_chart, Table};
 pub use workloads::{
-    fleet_workload, frontend_workload, full_scale_study_inputs, skewed_arbiter_workload,
-    test_scale_study_inputs, StudyInputs,
+    fleet_workload, frontend_workload, full_scale_study_inputs, materialized_month_requests,
+    population_requests, population_world, skewed_arbiter_workload, test_scale_study_inputs,
+    PopulationWorld, StudyInputs,
 };

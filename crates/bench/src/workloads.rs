@@ -1,13 +1,21 @@
 //! Canonical workload construction shared by figures, tables, and benches.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
+use cloudlet_core::cache::CommunityCache;
 use cloudlet_core::contentgen::{AdmissionPolicy, CacheContents};
 use cloudlet_core::corpus::UniverseCorpus;
+use cloudlet_core::frontend::ServeRequest;
+use cloudlet_core::population::PairTable;
+use cloudlet_core::ranking::RankingPolicy;
+use mobsim::time::SimInstant;
 use pocketsearch::engine::Catalog;
 use pocketsearch::fleet::FleetEvent;
 use querylog::generator::{GeneratorConfig, LogGenerator};
-use querylog::log::SearchLog;
+use querylog::ids::UserId;
+use querylog::log::{LogEntry, SearchLog};
+use querylog::stream::{EpochBatch, MICROS_PER_DAY};
 use querylog::triplets::TripletTable;
 use querylog::universe::Universe;
 use querylog::zipf::{TwoSegmentZipf, WeightedIndex};
@@ -175,6 +183,98 @@ pub fn skewed_arbiter_workload(
         .collect()
 }
 
+/// The shared, frozen state of a population study: the universe the
+/// streams draw from, the mined community snapshot, and the pair
+/// directory — everything that exists *once* regardless of how many
+/// users replay against it.
+#[derive(Debug, Clone)]
+pub struct PopulationWorld {
+    /// The universe population streams draw from.
+    pub universe: Universe,
+    /// Community snapshot mined from a sampled build population.
+    pub community: Arc<CommunityCache>,
+    /// Key → `(query_hash, result_hash)` directory over the universe's
+    /// pairs (request key = dense `PairId` index).
+    pub pairs: Arc<PairTable>,
+    /// The mined community contents (for reporting shares).
+    pub contents: CacheContents,
+}
+
+/// Builds the frozen world of a population study: a *sampled* build
+/// population (`config.n_users`) generates one month, the update server
+/// mines it into community contents at `share`, and the snapshot plus
+/// pair directory are frozen for `Arc`-sharing across lanes. The
+/// streamed serving population is then chosen independently (it can be
+/// a million users over the same universe).
+pub fn population_world(config: GeneratorConfig, seed: u64, share: f64) -> PopulationWorld {
+    let mut generator = LogGenerator::new(config, seed);
+    let build_month = generator.generate_month();
+    let triplets = TripletTable::from_log(&build_month);
+    let contents = CacheContents::generate(
+        &triplets,
+        &UniverseCorpus::new(generator.universe()),
+        AdmissionPolicy::CumulativeShare { share },
+    );
+    let catalog = Catalog::new(generator.universe());
+    let mut community = CommunityCache::new(RankingPolicy::default());
+    community.install_contents(&contents);
+    let pairs = PairTable::new(
+        generator
+            .universe()
+            .pairs()
+            .iter()
+            .map(|p| (catalog.query_hash(p.query), catalog.result_hash(p.result)))
+            .collect(),
+    );
+    PopulationWorld {
+        universe: generator.universe().clone(),
+        community: community.into_shared(),
+        pairs: pairs.into_shared(),
+        contents,
+    }
+}
+
+/// Converts one streamed epoch batch into front-end requests: user id,
+/// the population service group (0), the dense pair key, and the
+/// entry's real simulated arrival instant.
+pub fn population_requests(batch: &EpochBatch) -> Vec<ServeRequest> {
+    batch
+        .entries
+        .iter()
+        .map(|e| {
+            let at = u64::from(e.time.day) * MICROS_PER_DAY + e.time.micros_of_day;
+            ServeRequest::new(
+                u64::from(e.user.index()),
+                0,
+                u64::from(e.pair.index()),
+                SimInstant::from_micros(at),
+            )
+        })
+        .collect()
+}
+
+/// The materialized baseline the streamed path is proven against: every
+/// user's next month appended into **one shared buffer** via the public
+/// `append_user_month` form (no per-user `Vec` allocation), sorted into
+/// the canonical `(time, user, pair)` log order, and converted to
+/// requests. Bit-identical input to concatenating
+/// [`population_requests`] over a full `stream_month`.
+pub fn materialized_month_requests(generator: &LogGenerator) -> Vec<ServeRequest> {
+    let mut entries: Vec<LogEntry> = Vec::new();
+    for u in 0..generator.profiles().len() {
+        generator.append_user_month(UserId::new(u as u32), &mut entries);
+    }
+    entries.sort_by_key(|e| (e.time, e.user, e.pair));
+    let batch = EpochBatch {
+        month: generator.months_generated(),
+        day: 0,
+        epoch_of_day: 0,
+        epoch: 0,
+        entries,
+    };
+    population_requests(&batch)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,5 +321,29 @@ mod tests {
     fn build_and_replay_months_differ() {
         let inputs = test_scale_study_inputs(4);
         assert_ne!(inputs.build_month, inputs.replay_month);
+    }
+
+    #[test]
+    fn population_world_covers_the_universe() {
+        let world = population_world(GeneratorConfig::test_scale(), 4, 0.55);
+        assert!(!world.contents.is_empty());
+        assert!(world.community.pair_count() > 0);
+        assert_eq!(world.pairs.len(), world.universe.pairs().len());
+        // Every mined community query resolves through the pair table.
+        let (qh, _) = world.pairs.get(0).unwrap();
+        assert!(qh != 0);
+    }
+
+    #[test]
+    fn materialized_month_matches_the_streamed_epochs() {
+        let config = GeneratorConfig::test_scale();
+        let baseline = materialized_month_requests(&LogGenerator::new(config, 11));
+        let mut generator = LogGenerator::new(config, 11);
+        let streamed: Vec<ServeRequest> = generator
+            .stream_month_chunked(6)
+            .flat_map(|batch| population_requests(&batch))
+            .collect();
+        assert_eq!(baseline, streamed);
+        assert!(!baseline.is_empty());
     }
 }

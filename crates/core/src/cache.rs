@@ -7,6 +7,19 @@
 //! user selects after misses and re-ranks results from their clicks
 //! (§5.3). [`CacheMode`] exposes the Figure 17 ablations: community-only
 //! (no expansion, no re-ranking) and personalization-only (starts empty).
+//!
+//! [`PocketCache`] *flattens* both components into one table — fine for
+//! a single device, ruinous for a simulated population, where the
+//! community component would be duplicated per user. The §4 two-part
+//! model as actual structure is [`SplitCache`]: one read-mostly
+//! [`CommunityCache`] snapshot (`Arc`-shared across every user and
+//! lane) layered under a compact copy-on-write [`PersonalDelta`] per
+//! user. Lookup order is delta-then-community; clicks fold into the
+//! delta only. Under install-before-replay the split cache reproduces
+//! the flattened cache's hit/miss sequence bit for bit (see the
+//! equivalence tests).
+
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -35,11 +48,13 @@ impl CacheMode {
         CacheMode::PersonalizationOnly,
     ];
 
-    fn community_enabled(self) -> bool {
+    /// Whether lookups consult the shared community component.
+    pub fn community_enabled(self) -> bool {
         matches!(self, CacheMode::Full | CacheMode::CommunityOnly)
     }
 
-    fn personalization_enabled(self) -> bool {
+    /// Whether user clicks fold into the personalization component.
+    pub fn personalization_enabled(self) -> bool {
         matches!(self, CacheMode::Full | CacheMode::PersonalizationOnly)
     }
 }
@@ -226,6 +241,349 @@ impl PocketCache {
     }
 }
 
+/// The shared community component of the §4 two-part model: query/result
+/// pairs mined from everyone's logs, built once and snapshot-shared
+/// (`Arc`) across every user and serving lane.
+///
+/// The community cache is **read-mostly by contract**: installs happen
+/// during the update window, then the snapshot is frozen while replay
+/// runs. Per-user state never writes here — clicks fold into each user's
+/// [`PersonalDelta`] instead — which is what makes one copy sufficient
+/// for a million users.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommunityCache {
+    table: QueryHashTable,
+    policy: RankingPolicy,
+}
+
+impl CommunityCache {
+    /// An empty community snapshot.
+    pub fn new(policy: RankingPolicy) -> Self {
+        CommunityCache {
+            table: QueryHashTable::new(),
+            policy,
+        }
+    }
+
+    /// The ranking policy deltas layered on this snapshot will apply.
+    pub fn policy(&self) -> &RankingPolicy {
+        &self.policy
+    }
+
+    /// Read access to the underlying hash table.
+    pub fn table(&self) -> &QueryHashTable {
+        &self.table
+    }
+
+    /// Installs one mined pair (server-state conflicts keep the larger
+    /// score, §5.4).
+    pub fn install_pair(&mut self, query_hash: u64, result_hash: u64, score: f32) {
+        self.table
+            .upsert(query_hash, result_hash, score, ConflictPolicy::Max);
+    }
+
+    /// Installs a whole generated community cache.
+    pub fn install_contents(&mut self, contents: &CacheContents) {
+        for p in contents.pairs() {
+            self.install_pair(p.query_hash, p.result_hash, p.score);
+        }
+    }
+
+    /// Ranked results for a query, if cached.
+    pub fn lookup(&self, query_hash: u64) -> Option<Vec<ScoredResult>> {
+        self.table.lookup(query_hash)
+    }
+
+    /// Whether the snapshot holds any result for `query_hash`.
+    pub fn contains_query(&self, query_hash: u64) -> bool {
+        self.table.contains_query(query_hash)
+    }
+
+    /// Cached `(query, result)` pairs.
+    pub fn pair_count(&self) -> usize {
+        self.table.pair_count()
+    }
+
+    /// DRAM footprint of the one shared copy (§5.2 accounting).
+    pub fn footprint_bytes(&self) -> usize {
+        self.table.footprint_bytes()
+    }
+
+    /// Freezes the snapshot for sharing across users and lanes.
+    pub fn into_shared(self) -> Arc<CommunityCache> {
+        Arc::new(self)
+    }
+}
+
+/// Accounting overhead per delta query entry: hash + length + flags.
+const DELTA_ENTRY_OVERHEAD_BYTES: usize = 16;
+/// Accounting bytes per delta result: 8-byte hash + 4-byte score +
+/// 1-byte accessed flag.
+const DELTA_RESULT_BYTES: usize = 13;
+
+/// One query the user's personalization has touched, with the full
+/// result list as this user now sees it (seeded copy-on-write from the
+/// community snapshot on first click).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct DeltaEntry {
+    query_hash: u64,
+    results: Vec<ScoredResult>,
+}
+
+/// The compact per-user personalization component of the §4 two-part
+/// model.
+///
+/// A delta holds only the queries this user has clicked on — for a
+/// typical user a few dozen entries — so a million users cost
+/// O(users · clicked-queries), independent of both the community
+/// snapshot size and the event count. First click on a query copies
+/// that query's community results into the delta (copy-on-write); the
+/// §5.3 re-ranking then runs entirely inside the delta, applying the
+/// exact score arithmetic [`PocketCache::record_click`] applies, which
+/// is what makes the split bit-compatible with the flattened cache.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PersonalDelta {
+    /// Entries sorted by `query_hash` for binary-search lookup.
+    entries: Vec<DeltaEntry>,
+}
+
+impl PersonalDelta {
+    /// An empty delta (a user who has never clicked).
+    pub fn new() -> Self {
+        PersonalDelta::default()
+    }
+
+    /// Whether the delta shadows `query_hash`.
+    pub fn contains_query(&self, query_hash: u64) -> bool {
+        self.find(query_hash).is_ok()
+    }
+
+    /// Queries the delta shadows.
+    pub fn query_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `(query, result)` pairs resident in the delta.
+    pub fn pair_count(&self) -> usize {
+        self.entries.iter().map(|e| e.results.len()).sum()
+    }
+
+    /// Accounted resident bytes of this user's personalization state —
+    /// the per-user term of the population memory model.
+    pub fn footprint_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| DELTA_ENTRY_OVERHEAD_BYTES + e.results.len() * DELTA_RESULT_BYTES)
+            .sum()
+    }
+
+    /// Ranked results for a query the delta shadows, in the same
+    /// `(score desc, result_hash asc)` order [`QueryHashTable::lookup`]
+    /// produces.
+    pub fn lookup(&self, query_hash: u64) -> Option<Vec<ScoredResult>> {
+        let idx = self.find(query_hash).ok()?;
+        let mut out = self.entries[idx].results.clone();
+        out.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then(a.result_hash.cmp(&b.result_hash))
+        });
+        Some(out)
+    }
+
+    /// Folds one click into the delta, seeding the touched query from
+    /// `community` on first touch and then applying the §5.3 arithmetic:
+    /// clicked pair +1 (inserted at the max log score if absent),
+    /// siblings decay, accessed flag set.
+    pub fn record_click(
+        &mut self,
+        policy: &RankingPolicy,
+        community: Option<&CommunityCache>,
+        query_hash: u64,
+        result_hash: u64,
+    ) {
+        let idx = match self.find(query_hash) {
+            Ok(idx) => idx,
+            Err(insert_at) => {
+                // Copy-on-write: this user's view of the query starts as
+                // the community's result list (empty if uncached there).
+                let results = community
+                    .and_then(|c| c.lookup(query_hash))
+                    .unwrap_or_default();
+                self.entries.insert(
+                    insert_at,
+                    DeltaEntry {
+                        query_hash,
+                        results,
+                    },
+                );
+                insert_at
+            }
+        };
+        let entry = &mut self.entries[idx];
+        if let Some(clicked) = entry
+            .results
+            .iter_mut()
+            .find(|r| r.result_hash == result_hash)
+        {
+            clicked.score = policy.clicked_update(clicked.score);
+            clicked.accessed = true;
+            let clicked_hash = result_hash;
+            for r in entry.results.iter_mut() {
+                if r.result_hash != clicked_hash {
+                    r.score = policy.sibling_update(r.score);
+                }
+            }
+        } else {
+            for r in entry.results.iter_mut() {
+                r.score = policy.sibling_update(r.score);
+            }
+            entry.results.push(ScoredResult {
+                result_hash,
+                score: policy.miss_insert_score(),
+                accessed: true,
+            });
+        }
+    }
+
+    fn find(&self, query_hash: u64) -> Result<usize, usize> {
+        self.entries
+            .binary_search_by_key(&query_hash, |e| e.query_hash)
+    }
+}
+
+/// The §4 two-part model as structure: one shared [`CommunityCache`]
+/// snapshot under this user's [`PersonalDelta`], presenting the same
+/// serve/click surface as the flattened [`PocketCache`].
+///
+/// Lookup order is **delta, then community**: a query the user has
+/// personalized is answered from their delta (which already embeds the
+/// community results it was seeded from); anything else falls through
+/// to the shared snapshot. Clicks fold into the delta only — the
+/// community copy is never written — so any number of `SplitCache`s can
+/// share one snapshot.
+///
+/// Under install-before-replay (the community frozen before serving
+/// starts, as in the paper's update protocol), a `SplitCache` reproduces
+/// the flattened cache's [`LookupOutcome`] sequence bit for bit in every
+/// [`CacheMode`].
+///
+/// # Example
+///
+/// ```
+/// use cloudlet_core::cache::{CacheMode, CommunityCache, SplitCache};
+/// use cloudlet_core::ranking::RankingPolicy;
+///
+/// let mut community = CommunityCache::new(RankingPolicy::default());
+/// community.install_pair(42, 1000, 0.7);
+/// let shared = community.into_shared();
+///
+/// let mut alice = SplitCache::new(CacheMode::Full, shared.clone());
+/// let mut bob = SplitCache::new(CacheMode::Full, shared);
+/// assert!(alice.serve(42).hit, "community warm start");
+/// alice.record_click(42, 2000); // folds into Alice's delta only
+/// assert!(alice.serve(42).results.iter().any(|r| r.result_hash == 2000));
+/// assert!(!bob.serve(42).results.iter().any(|r| r.result_hash == 2000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitCache {
+    mode: CacheMode,
+    community: Arc<CommunityCache>,
+    delta: PersonalDelta,
+    stats: CacheStats,
+}
+
+impl SplitCache {
+    /// A split cache for one user over a shared community snapshot.
+    pub fn new(mode: CacheMode, community: Arc<CommunityCache>) -> Self {
+        SplitCache {
+            mode,
+            community,
+            delta: PersonalDelta::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The active mode.
+    pub fn mode(&self) -> CacheMode {
+        self.mode
+    }
+
+    /// The shared community snapshot.
+    pub fn community(&self) -> &Arc<CommunityCache> {
+        &self.community
+    }
+
+    /// This user's personalization delta.
+    pub fn delta(&self) -> &PersonalDelta {
+        &self.delta
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears hit/miss counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Pure lookup without statistics bookkeeping: delta first, then the
+    /// community snapshot (mode-gated exactly like [`PocketCache`]).
+    pub fn lookup(&self, query_hash: u64) -> Option<Vec<ScoredResult>> {
+        if self.mode.personalization_enabled() {
+            if let Some(results) = self.delta.lookup(query_hash) {
+                return Some(results);
+            }
+        }
+        if self.mode.community_enabled() {
+            return self.community.lookup(query_hash);
+        }
+        None
+    }
+
+    /// Serves a query, updating hit/miss statistics.
+    pub fn serve(&mut self, query_hash: u64) -> LookupOutcome {
+        match self.lookup(query_hash) {
+            Some(results) => {
+                self.stats.hits += 1;
+                LookupOutcome { hit: true, results }
+            }
+            None => {
+                self.stats.misses += 1;
+                LookupOutcome {
+                    hit: false,
+                    results: Vec::new(),
+                }
+            }
+        }
+    }
+
+    /// Records the user's click, folding the §5.3 personalization into
+    /// the delta only. A no-op in community-only mode; in
+    /// personalization-only mode the delta is never seeded from the
+    /// community (Figure 17's empty start).
+    pub fn record_click(&mut self, query_hash: u64, result_hash: u64) {
+        if !self.mode.personalization_enabled() {
+            return;
+        }
+        let policy = *self.community.policy();
+        let community = self
+            .mode
+            .community_enabled()
+            .then_some(self.community.as_ref());
+        self.delta
+            .record_click(&policy, community, query_hash, result_hash);
+    }
+
+    /// Resident bytes attributable to this user: the delta only — the
+    /// community snapshot is shared and accounted once, not per user.
+    pub fn personal_bytes(&self) -> usize {
+        self.delta.footprint_bytes()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,5 +690,119 @@ mod tests {
         c.install_pair(1, 10, 0.5);
         c.replace_table(QueryHashTable::new());
         assert!(!c.serve(1).hit);
+    }
+
+    fn community_with(pairs: &[(u64, u64, f32)]) -> Arc<CommunityCache> {
+        let mut c = CommunityCache::new(RankingPolicy::default());
+        for &(q, r, s) in pairs {
+            c.install_pair(q, r, s);
+        }
+        c.into_shared()
+    }
+
+    /// Replays the same serve/click script against a flattened cache and
+    /// a split cache and demands identical outcomes at every step.
+    fn assert_split_matches_flat(
+        mode: CacheMode,
+        pairs: &[(u64, u64, f32)],
+        script: &[(u64, u64)],
+    ) {
+        let mut flat = PocketCache::new(mode, RankingPolicy::default());
+        for &(q, r, s) in pairs {
+            flat.install_pair(q, r, s);
+        }
+        let mut split = SplitCache::new(mode, community_with(pairs));
+        for &(q, r) in script {
+            let a = flat.serve(q);
+            let b = split.serve(q);
+            assert_eq!(a, b, "mode {mode}: outcomes diverged on query {q}");
+            flat.record_click(q, r);
+            split.record_click(q, r);
+        }
+        assert_eq!(flat.stats(), split.stats());
+    }
+
+    #[test]
+    fn split_cache_matches_flat_cache_in_every_mode() {
+        let pairs = [(1, 10, 0.6), (1, 11, 0.4), (2, 20, 0.9), (3, 30, 0.2)];
+        // Clicks on cached pairs, sibling pairs, brand-new queries, and
+        // repeats of all three.
+        let script = [
+            (1, 11),
+            (1, 11),
+            (2, 20),
+            (5, 50),
+            (1, 10),
+            (5, 50),
+            (3, 31),
+            (2, 21),
+            (7, 70),
+            (1, 11),
+        ];
+        for mode in CacheMode::ALL {
+            assert_split_matches_flat(mode, &pairs, &script);
+        }
+    }
+
+    #[test]
+    fn deltas_are_per_user_and_community_is_untouched() {
+        let shared = community_with(&[(1, 10, 0.6), (1, 11, 0.4)]);
+        let mut alice = SplitCache::new(CacheMode::Full, shared.clone());
+        let mut bob = SplitCache::new(CacheMode::Full, shared.clone());
+        for _ in 0..3 {
+            alice.record_click(1, 11);
+        }
+        // Alice's re-ranking lifted 11; Bob still sees community order.
+        assert_eq!(alice.serve(1).results[0].result_hash, 11);
+        assert_eq!(bob.serve(1).results[0].result_hash, 10);
+        // The shared snapshot itself never changed.
+        assert_eq!(shared.lookup(1).unwrap()[0].result_hash, 10);
+        assert_eq!(shared.pair_count(), 2);
+        // Only Alice pays for her personalization.
+        assert!(alice.personal_bytes() > 0);
+        assert_eq!(bob.personal_bytes(), 0);
+    }
+
+    #[test]
+    fn copy_on_write_seeds_from_community_once() {
+        let shared = community_with(&[(1, 10, 0.6), (1, 11, 0.4)]);
+        let mut c = SplitCache::new(CacheMode::Full, shared);
+        assert_eq!(c.delta().query_count(), 0);
+        c.record_click(1, 10);
+        assert_eq!(c.delta().query_count(), 1);
+        assert_eq!(
+            c.delta().pair_count(),
+            2,
+            "seeded with both community results"
+        );
+        c.record_click(1, 10);
+        assert_eq!(c.delta().query_count(), 1, "second click reuses the entry");
+    }
+
+    #[test]
+    fn personalization_only_split_never_sees_community() {
+        let shared = community_with(&[(1, 10, 0.6)]);
+        let mut c = SplitCache::new(CacheMode::PersonalizationOnly, shared);
+        assert!(!c.serve(1).hit);
+        c.record_click(1, 99);
+        let out = c.serve(1);
+        assert!(out.hit);
+        // Not seeded: the community's result 10 must be absent.
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].result_hash, 99);
+    }
+
+    #[test]
+    fn delta_footprint_accounts_entries_and_results() {
+        let mut d = PersonalDelta::new();
+        assert_eq!(d.footprint_bytes(), 0);
+        let policy = RankingPolicy::default();
+        d.record_click(&policy, None, 1, 10);
+        assert_eq!(d.footprint_bytes(), 16 + 13);
+        d.record_click(&policy, None, 1, 11);
+        d.record_click(&policy, None, 2, 20);
+        assert_eq!(d.footprint_bytes(), 2 * 16 + 3 * 13);
+        assert_eq!(d.query_count(), 2);
+        assert_eq!(d.pair_count(), 3);
     }
 }

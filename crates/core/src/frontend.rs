@@ -71,12 +71,16 @@ use crate::service::{CloudletError, CloudletService, ServeKind, ServeOutcome, Se
 /// without making this crate depend on the fleet layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeRequest {
-    /// The requesting user (accounting only; never used for routing).
+    /// The requesting user. Passed through to the cloudlet's
+    /// user-aware serve path; under [`RouteBy::User`] it also picks the
+    /// lane, giving every user a home lane for their personalization
+    /// state.
     pub user: u64,
     /// Service group index.
     pub service: u32,
-    /// Service-defined key; routes to lane `key % group_len` within the
-    /// group unless work stealing redirects it.
+    /// Service-defined key; under [`RouteBy::Key`] (the default) routes
+    /// to lane `key % group_len` within the group unless work stealing
+    /// redirects it.
     pub key: u64,
     /// Simulated arrival instant. Requests should be batch-ordered by
     /// non-decreasing `at` for the queue model to be meaningful (a
@@ -109,6 +113,18 @@ pub enum HitPathMode {
     SharedRead,
 }
 
+/// Which request field picks the home lane within a service group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteBy {
+    /// `key % group_len` — spreads one user's keys across lanes
+    /// (shard-style replicas; the PR 3/4 behaviour).
+    Key,
+    /// `user % group_len` — pins each user to one lane, so per-user
+    /// state (a population lane's personalization deltas) lives exactly
+    /// once instead of once per lane the user's keys landed on.
+    User,
+}
+
 /// What happens to a request whose lane queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OverflowPolicy {
@@ -138,10 +154,14 @@ pub struct FrontendConfig {
     /// Overflow policy for full lane queues.
     pub overflow: OverflowPolicy,
     /// Steal to an idler sibling lane of the same group when the home
-    /// lane's queue is full. Enable only for replica lane groups.
+    /// lane's queue is full. Enable only for replica lane groups —
+    /// never with [`RouteBy::User`], which exists to keep a user's
+    /// state on one lane.
     pub work_stealing: bool,
     /// Width of the shared-read worker pool serving fast-path hits.
     pub read_workers: usize,
+    /// Which request field picks the home lane.
+    pub route_by: RouteBy,
 }
 
 impl Default for FrontendConfig {
@@ -154,6 +174,7 @@ impl Default for FrontendConfig {
             overflow: OverflowPolicy::Park,
             work_stealing: false,
             read_workers: 4,
+            route_by: RouteBy::Key,
         }
     }
 }
@@ -190,6 +211,7 @@ impl FrontendConfig {
             overflow: OverflowPolicy::Park,
             work_stealing: false,
             read_workers: 1,
+            route_by: RouteBy::Key,
         }
     }
 
@@ -268,6 +290,13 @@ impl FrontendConfigBuilder {
     #[must_use]
     pub fn read_workers(mut self, read_workers: usize) -> Self {
         self.config.read_workers = read_workers;
+        self
+    }
+
+    /// Sets which request field picks the home lane.
+    #[must_use]
+    pub fn route_by(mut self, route_by: RouteBy) -> Self {
+        self.config.route_by = route_by;
         self
     }
 
@@ -604,6 +633,10 @@ pub struct LaneTelemetry {
     /// own counters, so under [`HitPathMode::SharedRead`] these reflect
     /// only exclusive serves.
     pub stats: ServeStats,
+    /// Bytes of device memory the lane's cloudlet occupies right now
+    /// ([`CloudletService::cache_bytes`]) — the per-lane term of a
+    /// population study's resident-memory accounting.
+    pub cache_bytes: u64,
 }
 
 /// The front-end's whole telemetry surface in one snapshot, replacing
@@ -781,6 +814,7 @@ impl Frontend {
                         name: service.name(),
                         totals: l.counters.snapshot(),
                         stats: service.service_stats(),
+                        cache_bytes: service.cache_bytes(),
                     }
                 })
                 .collect(),
@@ -852,7 +886,11 @@ impl Frontend {
             .ok_or(CloudletError::UnknownService {
                 service: request.service,
             })?;
-        Ok(group[(request.key % group.len() as u64) as usize])
+        let selector = match self.config.route_by {
+            RouteBy::Key => request.key,
+            RouteBy::User => request.user,
+        };
+        Ok(group[(selector % group.len() as u64) as usize])
     }
 
     /// Serves the request on `lane`, trying the shared-read fast path
@@ -866,7 +904,7 @@ impl Frontend {
         if self.config.hit_path == HitPathMode::SharedRead {
             let fast = {
                 let service = self.lanes[lane].service.read();
-                service.try_serve_hit(request.key, request.at)
+                service.try_serve_hit_user(request.user, request.key, request.at)
             };
             if let Some(outcome) = fast {
                 return (Ok(outcome), true);
@@ -874,7 +912,7 @@ impl Frontend {
         }
         let result = {
             let mut service = self.lanes[lane].service.write();
-            service.serve(request.key, request.at)
+            service.serve_user(request.user, request.key, request.at)
         };
         (result, false)
     }
@@ -989,7 +1027,7 @@ impl Frontend {
             if self.config.hit_path == HitPathMode::SharedRead {
                 let fast = {
                     let service = self.lanes[home].service.read();
-                    service.try_serve_hit(request.key, request.at)
+                    service.try_serve_hit_user(request.user, request.key, request.at)
                 };
                 if let Some(outcome) = fast {
                     let worker = read_pool
@@ -1497,6 +1535,7 @@ mod tests {
                 overflow: OverflowPolicy::Reject,
                 work_stealing: true,
                 read_workers: 2,
+                route_by: RouteBy::Key,
             }
         );
         // Presets re-open into builders without drifting.

@@ -34,6 +34,10 @@
 //!   queues with typed admission/backpressure, duplicate-key
 //!   coalescing, a shared-lock read path for hits, and work stealing
 //!   between replica lanes.
+//! * [`population`] — population-scale serving: one shared
+//!   [`cache::CommunityCache`] snapshot plus per-user
+//!   [`cache::PersonalDelta`]s behind a [`CloudletService`] lane, with
+//!   O(users) resident-memory accounting.
 //! * [`corpus`] — the small trait that ties hashes and record sizes back
 //!   to a concrete corpus (implemented for `querylog::Universe`).
 //! * [`shard`] — the query hash table partitioned into independently
@@ -78,22 +82,24 @@ pub mod error;
 pub mod frontend;
 pub mod hashtable;
 pub mod lockrank;
+pub mod population;
 pub mod ranking;
 pub mod service;
 pub mod shard;
 pub mod update;
 
 pub use arbiter::{AdaptiveArbiter, ArbiterConfig, BudgetDecision, DemandContext};
-pub use cache::{CacheMode, LookupOutcome, PocketCache};
+pub use cache::{CacheMode, CommunityCache, LookupOutcome, PersonalDelta, PocketCache, SplitCache};
 pub use contentgen::{AdmissionPolicy, CacheContents, CachePair};
 pub use coordination::{CloudletBudgets, CloudletId, CoordinatedEviction};
 pub use corpus::{CorpusView, UniverseCorpus};
 pub use error::CoreError;
 pub use frontend::{
     Frontend, FrontendConfig, FrontendReport, FrontendTelemetry, HitPathMode, OverflowPolicy,
-    ServeRequest,
+    RouteBy, ServeRequest,
 };
 pub use hashtable::{QueryHashTable, ScoredResult, SLOTS_PER_ENTRY};
+pub use population::{PairTable, PopulationConfig, PopulationLane, PopulationResidency};
 pub use ranking::RankingPolicy;
 pub use service::{CloudletError, CloudletService, ServeKind, ServeOutcome, ServeStats};
 pub use shard::ShardedTable;

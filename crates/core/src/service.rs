@@ -356,6 +356,31 @@ pub trait CloudletService {
         None
     }
 
+    /// [`CloudletService::serve`] with the requesting user's identity.
+    ///
+    /// Most cloudlets hold one device's state and ignore the user (the
+    /// default forwards straight to `serve`). Population-scale cloudlets
+    /// (`crate::population`) carry a shared community snapshot plus
+    /// per-user personalization deltas and need to know *whose* delta a
+    /// request reads and whose click folds in. The front-end always
+    /// dispatches through this form, passing `ServeRequest::user`.
+    fn serve_user(
+        &mut self,
+        user: u64,
+        key: u64,
+        now: SimInstant,
+    ) -> Result<ServeOutcome, CloudletError> {
+        let _ = user;
+        self.serve(key, now)
+    }
+
+    /// [`CloudletService::try_serve_hit`] with the requesting user's
+    /// identity; same contract, same default forwarding.
+    fn try_serve_hit_user(&self, user: u64, key: u64, now: SimInstant) -> Option<ServeOutcome> {
+        let _ = user;
+        self.try_serve_hit(key, now)
+    }
+
     /// Counters accumulated by `serve` since construction.
     fn service_stats(&self) -> ServeStats;
 

@@ -7,13 +7,21 @@
 //! calendar months: the population and its behaviour are stationary, but
 //! every draw is fresh, so the cache-construction month and the replay
 //! month are non-overlapping, exactly as in the paper.
+//!
+//! Generation is *streaming-first*: every profile and every `(user,
+//! month, day)` cell derives its RNG independently from the generator
+//! seed (see [`crate::stream`]), so [`LogGenerator::stream_month`] can
+//! lazily chunk a month into epoch batches and
+//! [`LogGenerator::generate_user_month`] can re-derive any single user's
+//! stream without touching the rest of the population.
+//! [`LogGenerator::generate_month`] is a thin `collect()` wrapper over
+//! the stream.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::ids::UserId;
 use crate::log::{LogEntry, SearchLog};
+use crate::stream::{derive_profile, EventStream, StreamConfig};
 use crate::universe::{Universe, UniverseConfig};
 use crate::users::{BehaviorConfig, UserProfile};
 
@@ -71,26 +79,26 @@ pub struct LogGenerator {
     config: GeneratorConfig,
     universe: Universe,
     profiles: Vec<UserProfile>,
-    rng: StdRng,
+    seed: u64,
+    months_generated: u32,
 }
 
 impl LogGenerator {
     /// Builds the universe and user population deterministically from
-    /// `seed`.
+    /// `seed`. Each profile derives from its own
+    /// [`crate::stream::profile_seed`], so the table here is bit-identical
+    /// to what a profile-free [`EventStream`] derives on demand.
     pub fn new(config: GeneratorConfig, seed: u64) -> Self {
         let universe = Universe::generate(config.universe, seed);
-        let mut rng =
-            StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1));
         let profiles = (0..config.n_users)
-            .map(|i| {
-                UserProfile::generate(UserId::new(i as u32), &universe, &config.behavior, &mut rng)
-            })
+            .map(|i| derive_profile(&universe, &config.behavior, seed, UserId::new(i as u32)))
             .collect();
         LogGenerator {
             config,
             universe,
             profiles,
-            rng,
+            seed,
+            months_generated: 0,
         }
     }
 
@@ -102,6 +110,17 @@ impl LogGenerator {
     /// The shared universe.
     pub fn universe(&self) -> &Universe {
         &self.universe
+    }
+
+    /// The seed the generator (and all its derived streams) draw from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// How many months have been generated (or streamed) so far; the
+    /// next month to be produced has this index.
+    pub fn months_generated(&self) -> u32 {
+        self.months_generated
     }
 
     /// The user population.
@@ -118,45 +137,66 @@ impl LogGenerator {
         &self.profiles[user.as_usize()]
     }
 
-    /// Generates one month of activity for the whole population.
-    pub fn generate_month(&mut self) -> SearchLog {
-        let mut entries = Vec::new();
-        for i in 0..self.profiles.len() {
-            let user = UserId::new(i as u32);
-            self.append_user_month(user, &mut entries);
-        }
-        SearchLog::new(entries, self.config.days_per_month)
+    /// Lazily streams the next month as chunked epoch batches (see
+    /// [`EventStream`]); resident memory is bounded by one day of
+    /// events, not the month. Consumes a month index, so streamed and
+    /// collected months interleave consistently.
+    pub fn stream_month(&mut self) -> EventStream<'_> {
+        self.stream_month_chunked(StreamConfig::default().epochs_per_day)
     }
 
-    /// Generates one month of activity for a single user.
-    pub fn generate_user_month(&mut self, user: UserId) -> Vec<LogEntry> {
+    /// [`Self::stream_month`] with an explicit day chunking (e.g. 24
+    /// epochs per day for hourly diurnal phases).
+    pub fn stream_month_chunked(&mut self, epochs_per_day: u16) -> EventStream<'_> {
+        let month = self.months_generated;
+        self.months_generated += 1;
+        EventStream::with_profiles(
+            &self.universe,
+            &self.profiles,
+            self.config.behavior,
+            self.seed,
+            self.config.days_per_month,
+            StreamConfig {
+                month,
+                epochs_per_day,
+            },
+        )
+    }
+
+    /// Generates one month of activity for the whole population —
+    /// a thin `collect()` over [`Self::stream_month`].
+    pub fn generate_month(&mut self) -> SearchLog {
+        self.stream_month().collect_log()
+    }
+
+    /// Generates one month of activity for a single user: the user's
+    /// slice of the month [`Self::generate_month`] would produce next,
+    /// re-derived independently (no other user is generated, and the
+    /// generator's month counter does not advance).
+    pub fn generate_user_month(&self, user: UserId) -> Vec<LogEntry> {
         let mut entries = Vec::new();
         self.append_user_month(user, &mut entries);
         entries.sort_by_key(|e| e.time);
         entries
     }
 
-    fn append_user_month(&mut self, user: UserId, out: &mut Vec<LogEntry>) {
-        let profile = &self.profiles[user.as_usize()];
-        let volume = profile.monthly_volume;
-        let days = u32::from(self.config.days_per_month);
-        for i in 0..volume {
-            let pair_id = profile.next_pair(&self.universe, &mut self.rng);
-            let pair = self.universe.pair(pair_id);
-            // Spread the user's queries evenly across the month, with a
-            // random time of day.
-            let day = (u64::from(i) * u64::from(days) / u64::from(volume)) as u16;
-            let micros_of_day = self.rng.random_range(0..86_400_000_000u64);
-            out.push(LogEntry {
-                user,
-                time: crate::log::Timestamp::new(day, micros_of_day),
-                pair: pair_id,
-                query: pair.query,
-                result: pair.result,
-                kind: pair.kind,
-                device: profile.device,
-            });
-        }
+    /// The allocation-free form of [`Self::generate_user_month`]:
+    /// appends the user's month into a caller-owned buffer (in day
+    /// order; within a day events are unsorted), so loops over many
+    /// users reuse one buffer instead of allocating per user.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is outside the population.
+    pub fn append_user_month(&self, user: UserId, out: &mut Vec<LogEntry>) {
+        crate::stream::append_profile_month(
+            &self.universe,
+            &self.profiles[user.as_usize()],
+            self.seed,
+            self.months_generated,
+            self.config.days_per_month,
+            out,
+        );
     }
 }
 
@@ -239,10 +279,38 @@ mod tests {
 
     #[test]
     fn single_user_month_matches_population_shape() {
-        let mut g = generator();
+        let g = generator();
         let user = UserId::new(3);
         let stream = g.generate_user_month(user);
         assert_eq!(stream.len() as u32, g.profile(user).monthly_volume);
         assert!(stream.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn user_month_is_the_users_slice_of_the_population_month() {
+        let mut g = generator();
+        let user = UserId::new(7);
+        // Preview the next month for one user, then generate it for all.
+        let solo = g.generate_user_month(user);
+        let month = g.generate_month();
+        let mut slice: Vec<LogEntry> = month.iter().filter(|e| e.user == user).copied().collect();
+        slice.sort_by_key(|e| e.time);
+        let mut solo_sorted = solo;
+        solo_sorted.sort_by_key(|e| e.time);
+        assert_eq!(solo_sorted, slice);
+    }
+
+    #[test]
+    fn append_form_reuses_one_buffer_across_users() {
+        let g = generator();
+        let mut buffer = Vec::new();
+        g.append_user_month(UserId::new(0), &mut buffer);
+        let first = buffer.len();
+        g.append_user_month(UserId::new(1), &mut buffer);
+        assert_eq!(
+            buffer.len(),
+            first + g.profile(UserId::new(1)).monthly_volume as usize
+        );
+        assert_eq!(first, g.profile(UserId::new(0)).monthly_volume as usize);
     }
 }

@@ -171,44 +171,45 @@ pub fn parse_log(text: &str) -> Result<ExternalLog, ParseError> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let fields: Vec<&str> = trimmed.split('\t').collect();
-        if fields.len() != 7 {
-            return Err(ParseError::BadFieldCount {
-                line: line_no,
-                fields: fields.len(),
-            });
-        }
+        // Walk the split iterator directly instead of collecting a
+        // per-line `Vec<&str>`; the field count is only tallied on the
+        // error path.
+        let mut fields = trimmed.split('\t');
+        let bad_count = || ParseError::BadFieldCount {
+            line: line_no,
+            fields: trimmed.split('\t').count(),
+        };
+        let mut field = || fields.next().ok_or_else(bad_count);
         let bad = |field: &'static str, value: &str| ParseError::BadField {
             line: line_no,
             field,
             value: value.to_owned(),
         };
-        let user: u32 = fields[0].parse().map_err(|_| bad("user", fields[0]))?;
-        let day: u16 = fields[1].parse().map_err(|_| bad("day", fields[1]))?;
-        let micros: u64 = fields[2]
-            .parse()
-            .map_err(|_| bad("micros_of_day", fields[2]))?;
+        let raw = field()?;
+        let user: u32 = raw.parse().map_err(|_| bad("user", raw))?;
+        let raw = field()?;
+        let day: u16 = raw.parse().map_err(|_| bad("day", raw))?;
+        let raw = field()?;
+        let micros: u64 = raw.parse().map_err(|_| bad("micros_of_day", raw))?;
         if micros >= 86_400_000_000 {
-            return Err(bad("micros_of_day", fields[2]));
+            return Err(bad("micros_of_day", raw));
         }
-        let kind = match fields[3] {
+        let kind = match field()? {
             "nav" => QueryKind::Navigational,
             "web" => QueryKind::NonNavigational,
             other => return Err(bad("kind", other)),
         };
-        let device = match fields[4] {
+        let device = match field()? {
             "feature" => DeviceClass::FeaturePhone,
             "smart" => DeviceClass::Smartphone,
             other => return Err(bad("device", other)),
         };
-        rows.push((
-            user,
-            Timestamp::new(day, micros),
-            kind,
-            device,
-            fields[5].to_owned(),
-            fields[6].to_owned(),
-        ));
+        let query = field()?.to_owned();
+        let url = field()?.to_owned();
+        if fields.next().is_some() {
+            return Err(bad_count());
+        }
+        rows.push((user, Timestamp::new(day, micros), kind, device, query, url));
     }
     Ok(ExternalLog { rows })
 }
@@ -281,6 +282,29 @@ mod tests {
             parse_log(&text).unwrap_err(),
             ParseError::BadFieldCount { fields: 6, .. }
         ));
+    }
+
+    #[test]
+    fn malformed_row_with_extra_fields_is_a_typed_error() {
+        // Too many fields must be a BadFieldCount naming the line and
+        // the actual count, not a silently truncated row.
+        let text = format!("{FORMAT_HEADER}\n0\t0\t0\tnav\tsmart\tq\tu\textra\n");
+        assert_eq!(
+            parse_log(&text).unwrap_err(),
+            ParseError::BadFieldCount { line: 2, fields: 8 }
+        );
+
+        // A lone field is also counted exactly.
+        let text = format!("{FORMAT_HEADER}\njunk\n");
+        assert!(matches!(
+            parse_log(&text).unwrap_err(),
+            ParseError::BadField { field: "user", .. }
+        ));
+        let text = format!("{FORMAT_HEADER}\n7\n");
+        assert_eq!(
+            parse_log(&text).unwrap_err(),
+            ParseError::BadFieldCount { line: 2, fields: 1 }
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! * [`users`] — user classes and per-user behavioural profiles.
 //! * [`log`] — log entries, timestamps, and the [`SearchLog`] container.
 //! * [`generator`] — turns a universe + user population into logs.
+//! * [`stream`] — lazy, chunked epoch streams for population-scale runs.
 //! * [`io`] — text import/export, so real traces can be replayed.
 //! * [`triplets`] — `(query, result, volume)` extraction (Table 3).
 //! * [`analysis`] — CDFs, repeatability, user classing, summary stats.
@@ -48,6 +49,7 @@ pub mod generator;
 pub mod ids;
 pub mod io;
 pub mod log;
+pub mod stream;
 pub mod triplets;
 pub mod universe;
 pub mod users;
@@ -56,6 +58,7 @@ pub mod zipf;
 pub use generator::{GeneratorConfig, LogGenerator};
 pub use ids::{stable_hash64, PairId, QueryId, ResultId, UserId};
 pub use log::{DeviceClass, LogEntry, SearchLog, Timestamp};
+pub use stream::{EpochBatch, EventStream, StreamConfig};
 pub use triplets::{Triplet, TripletTable};
 pub use universe::{PairSpec, QueryKind, QuerySpec, ResultSpec, Universe, UniverseConfig};
 pub use users::{UserClass, UserProfile};

@@ -1,0 +1,615 @@
+//! Lazy, chunked event streams for population-scale simulation.
+//!
+//! The paper's evaluation replays a 200M-query month; materializing such
+//! a log as one `Vec<LogEntry>` is O(events) resident memory and caps the
+//! population a simulation can carry. [`EventStream`] generates the same
+//! month *epoch by epoch*: each [`EpochBatch`] holds one time slice of
+//! one day, chronologically sorted, and the stream never keeps more than
+//! a single day of events alive. Resident memory is O(users) — each user
+//! contributes a bounded number of events per day — independent of how
+//! many days (and therefore events) the stream covers.
+//!
+//! Two properties make the stream equivalent to the eager generator:
+//!
+//! * **Deterministic per-user seeding.** Every `(user, month, day)` cell
+//!   draws from its own SplitMix64-derived RNG ([`day_seed`]), and every
+//!   user's profile derives from [`profile_seed`]. Any user's stream can
+//!   be re-derived in isolation — [`user_month_entries`] — without
+//!   generating anyone else, and it is bit-identical to that user's
+//!   slice of the full stream.
+//! * **Exact concatenation.** Epoch time ranges partition the month and
+//!   each batch is sorted by `(time, user, pair)` — the same canonical
+//!   order [`SearchLog::new`] imposes — so concatenating the batches *is*
+//!   the materialized log. `LogGenerator::generate_month` is now a thin
+//!   [`EventStream::collect_log`] wrapper over this stream.
+//!
+//! Query times follow a diurnal profile ([`DIURNAL_HOUR_WEIGHTS`],
+//! after Carlsson & Eager's time-varying request volumes): a night
+//! trough, a morning ramp, and an evening peak, so day-scale runs exhibit
+//! the load shapes a front-end's admission control must ride out.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ids::UserId;
+use crate::log::{LogEntry, SearchLog, Timestamp};
+use crate::universe::Universe;
+use crate::users::{BehaviorConfig, UserProfile};
+
+/// Microseconds in one simulated day.
+pub const MICROS_PER_DAY: u64 = 86_400_000_000;
+
+/// Relative query volume per hour of day (the diurnal shape): a deep
+/// night trough, a morning ramp, a midday plateau, and an evening peak.
+/// Sampling is by weight, so the absolute scale is arbitrary.
+pub const DIURNAL_HOUR_WEIGHTS: [u64; 24] = [
+    2, 1, 1, 1, 1, 2, 4, 6, 8, 9, 10, 11, 11, 10, 10, 10, 11, 12, 14, 15, 14, 10, 6, 3,
+];
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation used to
+/// derive independent RNG seeds from structured coordinates.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The RNG seed a user's profile derives from: a function of the
+/// generator seed and the user id only, so profiles can be derived on
+/// demand (no O(users) profile table needed to stream).
+pub fn profile_seed(seed: u64, user: UserId) -> u64 {
+    mix64(mix64(seed ^ 0x0070_c4e7_u64) ^ u64::from(user.index()))
+}
+
+/// The RNG seed of one `(user, month, day)` generation cell.
+pub fn day_seed(seed: u64, month: u32, user: UserId, day: u16) -> u64 {
+    let mut h = mix64(seed ^ 0xd1a7_u64);
+    h = mix64(h ^ u64::from(month));
+    h = mix64(h ^ u64::from(user.index()));
+    mix64(h ^ u64::from(day))
+}
+
+/// Derives one user's behavioural profile deterministically from the
+/// generator seed. `LogGenerator::new` materializes its profile table
+/// through this same function, so a profile derived here is identical to
+/// the generator's copy.
+pub fn derive_profile(
+    universe: &Universe,
+    behavior: &BehaviorConfig,
+    seed: u64,
+    user: UserId,
+) -> UserProfile {
+    let mut rng = StdRng::seed_from_u64(profile_seed(seed, user));
+    UserProfile::generate(user, universe, behavior, &mut rng)
+}
+
+/// How many of a user's `volume` monthly events land on `day` of a
+/// `days`-day month. This is the eager generator's even spread
+/// (`day(i) = i·days/volume`) expressed as a per-day count, so the
+/// partition over days is exact: the counts sum to `volume`.
+pub fn events_on_day(volume: u32, days: u16, day: u16) -> u32 {
+    if volume == 0 || days == 0 || day >= days {
+        return 0;
+    }
+    let (volume, days, day) = (u64::from(volume), u64::from(days), u64::from(day));
+    let first = |d: u64| d.checked_mul(volume).map_or(0, |n| n.div_ceil(days));
+    (first(day + 1).min(volume) - first(day).min(volume)) as u32
+}
+
+/// Draws a time of day from the diurnal hour profile, uniform within the
+/// chosen hour.
+fn sample_micros_of_day(rng: &mut StdRng) -> u64 {
+    const TOTAL: u64 = {
+        let mut sum = 0u64;
+        let mut i = 0;
+        while i < DIURNAL_HOUR_WEIGHTS.len() {
+            sum += DIURNAL_HOUR_WEIGHTS[i];
+            i += 1;
+        }
+        sum
+    };
+    let mut x = rng.random_range(0..TOTAL);
+    let mut hour = 0u64;
+    for (h, &w) in DIURNAL_HOUR_WEIGHTS.iter().enumerate() {
+        if x < w {
+            hour = h as u64;
+            break;
+        }
+        x -= w;
+    }
+    hour * 3_600_000_000 + rng.random_range(0..3_600_000_000u64)
+}
+
+/// Appends one user's events for one `(month, day)` cell, in generation
+/// order (times within the day are *not* sorted here).
+fn append_user_day(
+    universe: &Universe,
+    profile: &UserProfile,
+    seed: u64,
+    month: u32,
+    days: u16,
+    day: u16,
+    out: &mut Vec<LogEntry>,
+) {
+    let n = events_on_day(profile.monthly_volume, days, day);
+    if n == 0 {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(day_seed(seed, month, profile.id, day));
+    for _ in 0..n {
+        let pair_id = profile.next_pair(universe, &mut rng);
+        let pair = universe.pair(pair_id);
+        let micros_of_day = sample_micros_of_day(&mut rng);
+        out.push(LogEntry {
+            user: profile.id,
+            time: Timestamp::new(day, micros_of_day),
+            pair: pair_id,
+            query: pair.query,
+            result: pair.result,
+            kind: pair.kind,
+            device: profile.device,
+        });
+    }
+}
+
+/// Appends one user's whole month, in day order (within a day, events
+/// are in generation order, not time order). This is the allocation-free
+/// append form: callers building many users' streams reuse one buffer.
+pub fn append_user_month(
+    universe: &Universe,
+    behavior: &BehaviorConfig,
+    seed: u64,
+    month: u32,
+    days: u16,
+    user: UserId,
+    out: &mut Vec<LogEntry>,
+) {
+    let profile = derive_profile(universe, behavior, seed, user);
+    append_profile_month(universe, &profile, seed, month, days, out);
+}
+
+/// [`append_user_month`] for a caller that already holds the profile
+/// (e.g. `LogGenerator`'s materialized table), skipping re-derivation.
+pub fn append_profile_month(
+    universe: &Universe,
+    profile: &UserProfile,
+    seed: u64,
+    month: u32,
+    days: u16,
+    out: &mut Vec<LogEntry>,
+) {
+    for day in 0..days {
+        append_user_day(universe, profile, seed, month, days, day, out);
+    }
+}
+
+/// One user's month, independently re-derived and sorted by time — the
+/// per-user stream §6.2 replays. Bit-identical to the user's slice of
+/// the full population stream for the same `(seed, month)`.
+pub fn user_month_entries(
+    universe: &Universe,
+    behavior: &BehaviorConfig,
+    seed: u64,
+    month: u32,
+    days: u16,
+    user: UserId,
+) -> Vec<LogEntry> {
+    let mut entries = Vec::new();
+    append_user_month(universe, behavior, seed, month, days, user, &mut entries);
+    entries.sort_by_key(|e| e.time);
+    entries
+}
+
+/// Which month an [`EventStream`] generates and how finely each day is
+/// chunked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Month index (successive `LogGenerator` months count up from 0).
+    pub month: u32,
+    /// Epoch batches per day (e.g. 24 for hourly diurnal phases).
+    pub epochs_per_day: u16,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            month: 0,
+            epochs_per_day: 4,
+        }
+    }
+}
+
+/// One chronologically sorted time slice of one day.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochBatch {
+    /// Month the batch belongs to.
+    pub month: u32,
+    /// Day of the month.
+    pub day: u16,
+    /// Slice index within the day, `0..epochs_per_day`.
+    pub epoch_of_day: u16,
+    /// Global epoch index: `day · epochs_per_day + epoch_of_day`.
+    pub epoch: u32,
+    /// The slice's events, sorted by `(time, user, pair)` — the same
+    /// canonical order [`SearchLog::new`] imposes.
+    pub entries: Vec<LogEntry>,
+}
+
+impl EpochBatch {
+    /// The simulated instant (in microseconds since day 0) at which this
+    /// epoch ends — the natural `now` for folding telemetry.
+    pub fn end_micros(&self, epochs_per_day: u16) -> u64 {
+        let per = MICROS_PER_DAY / u64::from(epochs_per_day.max(1));
+        u64::from(self.day) * MICROS_PER_DAY + u64::from(self.epoch_of_day + 1) * per
+    }
+}
+
+/// Where the stream gets user profiles from.
+enum ProfileSource<'a> {
+    /// Borrow a materialized table (the `LogGenerator` path).
+    Table(&'a [UserProfile]),
+    /// Derive each profile on demand from [`profile_seed`] — nothing is
+    /// retained, so streaming 1M users needs no profile table at all.
+    Derived { n_users: usize },
+}
+
+impl ProfileSource<'_> {
+    fn n_users(&self) -> usize {
+        match self {
+            ProfileSource::Table(t) => t.len(),
+            ProfileSource::Derived { n_users } => *n_users,
+        }
+    }
+}
+
+/// A lazy, chunked stream over one month of population activity.
+///
+/// Iterating yields `days · epochs_per_day` [`EpochBatch`]es in
+/// chronological order (empty slices included, so downstream time series
+/// stay dense). Only one day of events is ever resident.
+///
+/// # Example
+///
+/// ```
+/// use querylog::generator::{GeneratorConfig, LogGenerator};
+///
+/// let mut generator = LogGenerator::new(GeneratorConfig::test_scale(), 9);
+/// let mut materialized = LogGenerator::new(GeneratorConfig::test_scale(), 9);
+/// let streamed: Vec<_> = generator.stream_month().flat_map(|b| b.entries).collect();
+/// assert_eq!(streamed, materialized.generate_month().entries().to_vec());
+/// ```
+pub struct EventStream<'a> {
+    universe: &'a Universe,
+    profiles: ProfileSource<'a>,
+    behavior: BehaviorConfig,
+    seed: u64,
+    days: u16,
+    config: StreamConfig,
+    next_day: u16,
+    pending: VecDeque<EpochBatch>,
+    peak_day_entries: usize,
+}
+
+impl<'a> EventStream<'a> {
+    /// A stream that derives every profile on demand — the
+    /// population-scale entry point: O(1) state per user beyond the
+    /// current day's events.
+    pub fn new(
+        universe: &'a Universe,
+        behavior: BehaviorConfig,
+        seed: u64,
+        n_users: usize,
+        days: u16,
+        config: StreamConfig,
+    ) -> Self {
+        Self::build(
+            universe,
+            ProfileSource::Derived { n_users },
+            behavior,
+            seed,
+            days,
+            config,
+        )
+    }
+
+    /// A stream over an already-materialized profile table (what
+    /// `LogGenerator::stream_month` uses), skipping per-day profile
+    /// re-derivation.
+    pub fn with_profiles(
+        universe: &'a Universe,
+        profiles: &'a [UserProfile],
+        behavior: BehaviorConfig,
+        seed: u64,
+        days: u16,
+        config: StreamConfig,
+    ) -> Self {
+        Self::build(
+            universe,
+            ProfileSource::Table(profiles),
+            behavior,
+            seed,
+            days,
+            config,
+        )
+    }
+
+    fn build(
+        universe: &'a Universe,
+        profiles: ProfileSource<'a>,
+        behavior: BehaviorConfig,
+        seed: u64,
+        days: u16,
+        config: StreamConfig,
+    ) -> Self {
+        assert!(days >= 1, "a month needs at least one day");
+        assert!(
+            config.epochs_per_day >= 1,
+            "need at least one epoch per day"
+        );
+        EventStream {
+            universe,
+            profiles,
+            behavior,
+            seed,
+            days,
+            config,
+            next_day: 0,
+            pending: VecDeque::new(),
+            peak_day_entries: 0,
+        }
+    }
+
+    /// The stream's configuration.
+    pub fn config(&self) -> StreamConfig {
+        self.config
+    }
+
+    /// Days the stream covers.
+    pub fn days(&self) -> u16 {
+        self.days
+    }
+
+    /// Users the stream covers.
+    pub fn n_users(&self) -> usize {
+        self.profiles.n_users()
+    }
+
+    /// The largest number of events the stream has held resident at once
+    /// (one day's worth) — the stream's peak-RSS proxy, updated as days
+    /// are generated.
+    pub fn peak_day_entries(&self) -> usize {
+        self.peak_day_entries
+    }
+
+    /// Generates day `day` into per-epoch buckets.
+    fn generate_day(&mut self, day: u16) {
+        let epochs = usize::from(self.config.epochs_per_day);
+        let mut buckets: Vec<Vec<LogEntry>> = (0..epochs).map(|_| Vec::new()).collect();
+        let mut scratch = Vec::new();
+        for u in 0..self.profiles.n_users() {
+            let user = UserId::new(u as u32);
+            let derived;
+            let profile = match &self.profiles {
+                ProfileSource::Table(t) => &t[u],
+                ProfileSource::Derived { .. } => {
+                    derived = derive_profile(self.universe, &self.behavior, self.seed, user);
+                    &derived
+                }
+            };
+            scratch.clear();
+            append_user_day(
+                self.universe,
+                profile,
+                self.seed,
+                self.config.month,
+                self.days,
+                day,
+                &mut scratch,
+            );
+            for e in &scratch {
+                let slice = (e.time.micros_of_day * epochs as u64 / MICROS_PER_DAY) as usize;
+                buckets[slice.min(epochs - 1)].push(*e);
+            }
+        }
+        let day_entries: usize = buckets.iter().map(Vec::len).sum();
+        self.peak_day_entries = self.peak_day_entries.max(day_entries);
+        for (slice, mut entries) in buckets.into_iter().enumerate() {
+            entries.sort_by_key(|e| (e.time, e.user, e.pair));
+            self.pending.push_back(EpochBatch {
+                month: self.config.month,
+                day,
+                epoch_of_day: slice as u16,
+                epoch: u32::from(day) * u32::from(self.config.epochs_per_day) + slice as u32,
+                entries,
+            });
+        }
+    }
+
+    /// Drains the stream into a [`SearchLog`] — the thin `collect()`
+    /// wrapper the eager `generate_month` API is now built on.
+    pub fn collect_log(self) -> SearchLog {
+        let days = self.days;
+        let entries: Vec<LogEntry> = self.flat_map(|batch| batch.entries).collect();
+        SearchLog::new(entries, days)
+    }
+}
+
+impl std::fmt::Debug for EventStream<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventStream")
+            .field("n_users", &self.profiles.n_users())
+            .field("days", &self.days)
+            .field("config", &self.config)
+            .field("next_day", &self.next_day)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Iterator for EventStream<'_> {
+    type Item = EpochBatch;
+
+    fn next(&mut self) -> Option<EpochBatch> {
+        if self.pending.is_empty() {
+            if self.next_day >= self.days {
+                return None;
+            }
+            let day = self.next_day;
+            self.next_day += 1;
+            self.generate_day(day);
+        }
+        self.pending.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, LogGenerator};
+
+    fn stream(epochs_per_day: u16) -> (LogGenerator, Vec<EpochBatch>) {
+        let mut g = LogGenerator::new(GeneratorConfig::test_scale(), 42);
+        let batches: Vec<EpochBatch> = g.stream_month_chunked(epochs_per_day).collect();
+        (g, batches)
+    }
+
+    #[test]
+    fn epochs_concatenate_to_the_materialized_month() {
+        let (_, batches) = stream(4);
+        let mut materialized = LogGenerator::new(GeneratorConfig::test_scale(), 42);
+        let log = materialized.generate_month();
+        let streamed: Vec<LogEntry> = batches.into_iter().flat_map(|b| b.entries).collect();
+        assert_eq!(streamed, log.entries().to_vec());
+    }
+
+    #[test]
+    fn chunking_is_invariant_in_epochs_per_day() {
+        let (_, coarse) = stream(1);
+        let (_, fine) = stream(24);
+        let a: Vec<LogEntry> = coarse.into_iter().flat_map(|b| b.entries).collect();
+        let b: Vec<LogEntry> = fine.into_iter().flat_map(|b| b.entries).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batches_cover_every_epoch_in_order() {
+        let (g, batches) = stream(6);
+        let days = g.config().days_per_month;
+        assert_eq!(batches.len(), usize::from(days) * 6);
+        for (i, b) in batches.iter().enumerate() {
+            assert_eq!(b.epoch as usize, i);
+            assert_eq!(b.day, (i / 6) as u16);
+            assert_eq!(b.epoch_of_day, (i % 6) as u16);
+            let per = MICROS_PER_DAY / 6;
+            let lo = u64::from(b.day) * MICROS_PER_DAY + u64::from(b.epoch_of_day) * per;
+            for e in &b.entries {
+                let at = u64::from(e.time.day) * MICROS_PER_DAY + e.time.micros_of_day;
+                assert!(at >= lo && at < lo + per, "entry outside its epoch slice");
+            }
+            assert!(b
+                .entries
+                .windows(2)
+                .all(|w| (w[0].time, w[0].user, w[0].pair) <= (w[1].time, w[1].user, w[1].pair)));
+        }
+    }
+
+    #[test]
+    fn derived_profiles_match_the_generator_table() {
+        let g = LogGenerator::new(GeneratorConfig::test_scale(), 7);
+        for u in [0usize, 3, 99, 299] {
+            let user = UserId::new(u as u32);
+            let derived = derive_profile(g.universe(), &g.config().behavior, 7, user);
+            let table = g.profile(user);
+            assert_eq!(derived.monthly_volume, table.monthly_volume);
+            assert_eq!(derived.repertoire, table.repertoire);
+            assert_eq!(derived.device, table.device);
+        }
+    }
+
+    #[test]
+    fn user_streams_rederive_identically_and_match_the_population() {
+        let mut g = LogGenerator::new(GeneratorConfig::test_scale(), 11);
+        let user = UserId::new(5);
+        let a = user_month_entries(g.universe(), &g.config().behavior, 11, 0, 28, user);
+        let b = user_month_entries(g.universe(), &g.config().behavior, 11, 0, 28, user);
+        assert_eq!(a, b, "independent re-derivations must be identical");
+        let month = g.generate_month();
+        let mut from_month: Vec<LogEntry> =
+            month.iter().filter(|e| e.user == user).copied().collect();
+        from_month.sort_by_key(|e| e.time);
+        let mut sorted = a;
+        sorted.sort_by_key(|e| e.time);
+        assert_eq!(sorted, from_month);
+    }
+
+    #[test]
+    fn day_partition_is_exact() {
+        for volume in [0u32, 1, 19, 20, 28, 29, 250, 999] {
+            for days in [1u16, 7, 28, 30] {
+                let total: u32 = (0..days).map(|d| events_on_day(volume, days, d)).sum();
+                assert_eq!(total, volume, "volume {volume} days {days}");
+            }
+        }
+        assert_eq!(events_on_day(100, 28, 28), 0, "out-of-month day is empty");
+    }
+
+    #[test]
+    fn times_stay_inside_the_day_and_lean_diurnal() {
+        let (_, batches) = stream(24);
+        let mut by_hour = [0u64; 24];
+        for b in &batches {
+            for e in &b.entries {
+                assert!(e.time.micros_of_day < MICROS_PER_DAY);
+                by_hour[(e.time.micros_of_day / 3_600_000_000) as usize] += 1;
+            }
+        }
+        let night: u64 = by_hour[0..5].iter().sum();
+        let evening: u64 = by_hour[17..22].iter().sum();
+        assert!(
+            evening > 4 * night.max(1),
+            "evening {evening} vs night {night}: diurnal shape missing"
+        );
+    }
+
+    #[test]
+    fn peak_resident_entries_is_one_day_not_the_month() {
+        let mut g = LogGenerator::new(GeneratorConfig::test_scale(), 42);
+        let mut s = g.stream_month();
+        let mut total = 0usize;
+        let mut peak_batch = 0usize;
+        for b in &mut s {
+            total += b.entries.len();
+            peak_batch = peak_batch.max(b.entries.len());
+        }
+        let peak = s.peak_day_entries();
+        assert!(peak >= peak_batch);
+        assert!(
+            peak * 4 < total,
+            "peak resident {peak} should be far below the month's {total}"
+        );
+    }
+
+    #[test]
+    fn seeds_are_well_separated() {
+        let s1 = day_seed(9, 0, UserId::new(1), 0);
+        let s2 = day_seed(9, 0, UserId::new(1), 1);
+        let s3 = day_seed(9, 0, UserId::new(2), 0);
+        let s4 = day_seed(9, 1, UserId::new(1), 0);
+        let all = [s1, s2, s3, s4];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_ne!(
+            profile_seed(9, UserId::new(0)),
+            profile_seed(9, UserId::new(1))
+        );
+        assert_ne!(
+            profile_seed(9, UserId::new(0)),
+            profile_seed(10, UserId::new(0))
+        );
+    }
+}

@@ -10,9 +10,13 @@
 #     per-epoch grant/priority log under the flipping skewed workload.
 #   BENCH_wear.json     — hit ratio, corruption-shed rate, and re-fetch
 #     radio bytes/energy across the wear-threshold x allocation sweep.
+#   BENCH_population.json — the 1M-user streamed-day diurnal time series
+#     plus O(users) residency counters. Always runs at full scale: the
+#     million-user population is the point of the study.
 #
 # Usage: scripts/bench.sh [--full]   (--full runs the paper-scale sweeps;
-# the committed artifacts are the test-scale ones.)
+# the committed artifacts are the test-scale ones, except the population
+# study which is committed at full scale.)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,3 +33,6 @@ cargo run --release -q -p pocket-bench --bin ablations -- \
 
 cargo run --release -q -p pocket-bench --bin ablations -- \
   --study wear ${scale_flag} --seed 2011 --out BENCH_wear.json
+
+cargo run --release -q -p pocket-bench --bin ablations -- \
+  --study population --scale full --seed 2011 --out BENCH_population.json

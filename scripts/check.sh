@@ -20,6 +20,9 @@ cargo test -q -p cloudlet-core --lib arbiter
 echo "==> cargo test -q -p mobsim --lib flash (fast wear-model gate)"
 cargo test -q -p mobsim --lib flash
 
+echo "==> cargo test -q -p querylog --lib stream (fast event-stream gate)"
+cargo test -q -p querylog --lib stream
+
 echo "==> cargo test -q"
 cargo test -q
 

@@ -1,0 +1,243 @@
+//! Property and equivalence tests for the population-scale streaming
+//! path: the lazy epoch stream must be a pure re-chunking of the
+//! materialized month, per-user streams must re-derive independently,
+//! and the split community/personal cache must be bit-identical to the
+//! flattened one.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use pocket_bench::{materialized_month_requests, population_requests, population_world};
+use pocket_cloudlets::core::cache::{CacheMode, CommunityCache, PocketCache, SplitCache};
+use pocket_cloudlets::core::frontend::{
+    Frontend, FrontendConfig, OverflowPolicy, RouteBy, ServeRequest,
+};
+use pocket_cloudlets::core::population::{PopulationConfig, PopulationLane};
+use pocket_cloudlets::core::ranking::RankingPolicy;
+use pocket_cloudlets::core::service::CloudletService;
+use pocket_cloudlets::querylog::generator::{GeneratorConfig, LogGenerator};
+use pocket_cloudlets::querylog::ids::UserId;
+use pocket_cloudlets::querylog::log::LogEntry;
+use pocket_cloudlets::querylog::universe::UniverseConfig;
+use pocket_cloudlets::querylog::zipf::TwoSegmentZipf;
+
+/// A universe small enough to regenerate hundreds of times, but with
+/// both result kinds, aliases, and second results in play.
+fn tiny_universe(nav: usize, nonnav: usize) -> UniverseConfig {
+    UniverseConfig {
+        nav_results: nav,
+        nonnav_results: nonnav,
+        nav_volume_share: 0.5,
+        nav_profile: TwoSegmentZipf {
+            head_count: (nav / 4).max(1),
+            head_mass: 0.9,
+            s_head: 0.9,
+            s_tail: 0.45,
+        },
+        nonnav_profile: TwoSegmentZipf {
+            head_count: (nonnav / 4).max(1),
+            head_mass: 0.3,
+            s_head: 0.8,
+            s_tail: 0.2,
+        },
+        alias_extra_prob: 0.4,
+        alias_secondary_share: 0.35,
+        second_result_prob: 0.9,
+        second_result_weight: 0.85,
+    }
+}
+
+fn tiny_config(nav: usize, nonnav: usize, n_users: usize, days: u16) -> GeneratorConfig {
+    GeneratorConfig {
+        universe: tiny_universe(nav, nonnav),
+        behavior: Default::default(),
+        n_users,
+        days_per_month: days,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The chunked epoch stream is a pure re-chunking: concatenating
+    /// every epoch batch of a random universe/population/chunking yields
+    /// exactly the eagerly materialized month, entry for entry.
+    #[test]
+    fn chunked_epochs_concatenate_to_the_materialized_month(
+        seed in any::<u64>(),
+        nav in 20usize..60,
+        nonnav in 60usize..160,
+        n_users in 1usize..24,
+        days in 1u16..8,
+        epochs_per_day in 1u16..12,
+    ) {
+        let config = tiny_config(nav, nonnav, n_users, days);
+        let mut eager = LogGenerator::new(config, seed);
+        let month: Vec<LogEntry> = eager.generate_month().iter().copied().collect();
+
+        let mut lazy = LogGenerator::new(config, seed);
+        let streamed: Vec<LogEntry> = lazy
+            .stream_month_chunked(epochs_per_day)
+            .flat_map(|batch| batch.entries)
+            .collect();
+        prop_assert_eq!(streamed, month);
+    }
+
+    /// Any single user's stream re-derives independently of the rest of
+    /// the population: two generators that never met agree on the user's
+    /// month, and that month is exactly the user's slice of the
+    /// population month.
+    #[test]
+    fn user_streams_rederive_independently(
+        seed in any::<u64>(),
+        n_users in 1usize..24,
+        days in 1u16..8,
+        pick in any::<u32>(),
+    ) {
+        let config = tiny_config(30, 90, n_users, days);
+        let user = UserId::new(pick % n_users as u32);
+
+        let mut once = Vec::new();
+        LogGenerator::new(config, seed).append_user_month(user, &mut once);
+        let mut again = Vec::new();
+        LogGenerator::new(config, seed).append_user_month(user, &mut again);
+        prop_assert_eq!(&once, &again);
+
+        let month = LogGenerator::new(config, seed).generate_month();
+        let slice: Vec<LogEntry> = month.iter().filter(|e| e.user == user).copied().collect();
+        once.sort_by_key(|e| (e.time, e.user, e.pair));
+        prop_assert_eq!(once, slice);
+    }
+}
+
+/// One step of a cache usage script: serve a query, or click a result.
+#[derive(Debug, Clone, Copy)]
+enum CacheOp {
+    Serve { q: u64 },
+    Click { q: u64, r: u64 },
+}
+
+fn cache_op() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        2 => (0u64..16).prop_map(|q| CacheOp::Serve { q }),
+        3 => (0u64..16, 100u64..112).prop_map(|(q, r)| CacheOp::Click { q, r }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Under the install-before-replay contract, the split
+    /// community/personal cache reproduces the flattened cache bit for
+    /// bit — same hit/miss sequence, same served results and scores —
+    /// in every cache mode, for arbitrary install sets and usage
+    /// scripts.
+    #[test]
+    fn split_cache_is_bit_identical_to_flattened(
+        installs in proptest::collection::vec((0u64..16, 100u64..112, 0.0f32..1.0), 0..24),
+        script in proptest::collection::vec(cache_op(), 1..60),
+    ) {
+        for mode in [
+            CacheMode::Full,
+            CacheMode::CommunityOnly,
+            CacheMode::PersonalizationOnly,
+        ] {
+            let policy = RankingPolicy::default();
+            let mut flat = PocketCache::new(mode, policy);
+            let mut community = CommunityCache::new(policy);
+            for &(q, r, score) in &installs {
+                flat.install_pair(q, r, score);
+                community.install_pair(q, r, score);
+            }
+            let mut split = SplitCache::new(mode, community.into_shared());
+
+            for (step, &op) in script.iter().enumerate() {
+                match op {
+                    CacheOp::Serve { q } => {
+                        let a = flat.serve(q);
+                        let b = split.serve(q);
+                        prop_assert_eq!(a, b, "serve diverged at step {} ({:?})", step, mode);
+                    }
+                    CacheOp::Click { q, r } => {
+                        flat.record_click(q, r);
+                        split.record_click(q, r);
+                        prop_assert_eq!(
+                            flat.lookup(q),
+                            split.lookup(q),
+                            "click diverged at step {} ({:?})",
+                            step,
+                            mode
+                        );
+                    }
+                }
+            }
+            prop_assert_eq!(flat.stats(), split.stats());
+        }
+    }
+}
+
+/// A user-routed population front-end like the ablation study's: every
+/// lane shares one `Arc`'d community snapshot and pair directory.
+fn frontend_over(config: GeneratorConfig, seed: u64, lanes: usize) -> Frontend {
+    let world = population_world(config, seed, 0.55);
+    let services: Vec<Box<dyn CloudletService + Send + Sync>> = (0..lanes)
+        .map(|_| {
+            Box::new(PopulationLane::new(
+                PopulationConfig::default(),
+                Arc::clone(&world.community),
+                Arc::clone(&world.pairs),
+            )) as Box<dyn CloudletService + Send + Sync>
+        })
+        .collect();
+    let front = FrontendConfig::builder()
+        .route_by(RouteBy::User)
+        .coalescing(false)
+        .work_stealing(false)
+        .overflow(OverflowPolicy::Park)
+        .build();
+    Frontend::new(vec![services], front)
+}
+
+/// The tentpole's serving-equivalence proof at 64 users: driving the
+/// population front-end epoch-by-epoch from the lazy stream produces
+/// telemetry — per-lane totals, serve-path `ServeStats`, and resident
+/// delta bytes — bit-identical to replaying the materialized month as
+/// one batch.
+#[test]
+fn streamed_day_reproduces_materialized_serve_stats() {
+    let config = GeneratorConfig {
+        n_users: 64,
+        ..GeneratorConfig::test_scale()
+    };
+    let seed = 20;
+
+    let baseline = frontend_over(config, seed, 4);
+    let requests: Vec<ServeRequest> = materialized_month_requests(&LogGenerator::new(config, seed));
+    assert!(!requests.is_empty());
+    baseline
+        .serve_batch(&requests)
+        .expect("materialized batch serves");
+
+    let streamed = frontend_over(config, seed, 4);
+    let mut generator = LogGenerator::new(config, seed);
+    let mut epochs = 0usize;
+    for batch in generator.stream_month_chunked(4) {
+        if !batch.entries.is_empty() {
+            streamed
+                .serve_batch(&population_requests(&batch))
+                .expect("epoch batch serves");
+        }
+        epochs += 1;
+    }
+    assert_eq!(epochs, 28 * 4, "every epoch of the month is visited");
+
+    let a = baseline.telemetry();
+    let b = streamed.telemetry();
+    assert_eq!(a, b, "streamed telemetry must match the materialized run");
+    assert!(a.aggregate().hits > 0, "the community warm start hits");
+    assert!(
+        a.lanes.iter().map(|l| l.cache_bytes).sum::<u64>() > 0,
+        "clicks materialize per-user deltas"
+    );
+}
