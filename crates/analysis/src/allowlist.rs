@@ -141,6 +141,12 @@ impl Allowlist {
         false
     }
 
+    /// All parsed entries, in file order — lets policy tests pin the
+    /// committed allowlist's exact shape.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
     /// Entries that never matched a finding — candidates for removal.
     pub fn unused(&self) -> Vec<&Entry> {
         self.entries

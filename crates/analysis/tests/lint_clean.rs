@@ -72,6 +72,55 @@ fn seeded_violations_still_fire_end_to_end() {
 }
 
 #[test]
+fn the_host_clock_carve_out_is_exactly_one_module_wide() {
+    // The R2 exemption exists for the wall-clock harness and nothing
+    // else. Every committed allowlist entry must target rule R2 and
+    // the one module; widening the carve-out (a second path, a crate-
+    // wide prefix, a `*` rule) is a policy change this test blocks.
+    let root = analysis::default_root();
+    let allow = load_allowlist(&root.join("lint.allow")).expect("allowlist parses");
+    assert!(!allow.is_empty(), "the wall-clock carve-out should exist");
+    for entry in allow.entries() {
+        assert_eq!(
+            entry.rule.map(|r| r.id()),
+            Some("R2"),
+            "lint.allow:{}: only R2 may be exempted",
+            entry.line
+        );
+        assert_eq!(
+            entry.path_prefix, "crates/bench/src/wallclock.rs",
+            "lint.allow:{}: the carve-out covers exactly the wall-clock module",
+            entry.line
+        );
+    }
+}
+
+#[test]
+fn the_carve_out_does_not_leak_to_other_files() {
+    // A host-clock use anywhere but the wall-clock module still fires
+    // R2 even with the committed allowlist loaded.
+    let dir = std::env::temp_dir().join(format!("cloudlet-lint-r2-{}", std::process::id()));
+    let src = dir.join("crates/bench/src");
+    std::fs::create_dir_all(&src).expect("fixture dir");
+    std::fs::write(
+        src.join("other.rs"),
+        "use std::time::Instant;\npub fn now() -> Instant { Instant::now() }\n",
+    )
+    .expect("fixture file");
+
+    let root = analysis::default_root();
+    let mut allow = load_allowlist(&root.join("lint.allow")).expect("allowlist parses");
+    let findings = analyze_workspace(&dir, &mut allow).expect("fixture scans");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(
+        findings.iter().any(|f| f.rule.id() == "R2"),
+        "R2 should still fire outside crates/bench/src/wallclock.rs; got {:?}",
+        findings.iter().map(|f| f.human()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
 fn missing_allowlist_is_empty_not_an_error() {
     let allow = load_allowlist(Path::new("/nonexistent/lint.allow")).expect("missing file is ok");
     assert!(allow.is_empty());

@@ -3,7 +3,7 @@
 //! ```text
 //! ablations [--study <id>] [--scale test|full] [--seed N] [--out <path>]
 //!   ids: lambda admission tiers freshness maps battery suggest radios
-//!        offload fleet frontend arbiter wear population all
+//!        offload fleet frontend arbiter wear population hotpath all
 //! ```
 //!
 //! * `lambda` — §5.3's decay constant: hit rate and ranking quality
@@ -43,6 +43,14 @@
 //!   corruption-shed rate, re-fetch radio bytes/energy, and the erase
 //!   spread. With `--out`, also writes the sweep as JSON
 //!   (`BENCH_wear.json`).
+//! * `hotpath` — the **wall-clock** serve hot path (the one
+//!   host-clock study; every other number here is simulated): a
+//!   hit-heavy key stream probed through the sharded index's locked
+//!   baseline (`lookup_locked`) and its lock-free `AtomicTable`
+//!   mirror (`lookup`) at 1/8/32 threads, reporting real ns/lookup
+//!   and qps. Host-dependent by design — the committed
+//!   BENCH_hotpath.json is a trajectory, not a reproducible artifact.
+//!   With `--out`, writes the sweep as JSON (`BENCH_hotpath.json`).
 //! * `population` — population-scale streaming: a full simulated day
 //!   (1M users at full scale) flows lazily through user-routed
 //!   front-end lanes sharing one `Arc`'d community snapshot, clicks
@@ -61,14 +69,16 @@ use cloudlet_core::corpus::UniverseCorpus;
 use cloudlet_core::frontend::{
     Frontend, FrontendConfig, HitPathMode, LaneTotals, OverflowPolicy, RouteBy, ServeRequest,
 };
-use cloudlet_core::hashtable::QueryHashTable;
+use cloudlet_core::hashtable::{ConflictPolicy, QueryHashTable};
 use cloudlet_core::population::{PopulationConfig, PopulationLane};
 use cloudlet_core::ranking::RankingPolicy;
 use cloudlet_core::service::{CloudletService, ServeStats};
+use cloudlet_core::shard::ShardedTable;
 use cloudlet_core::update::UpdateServer;
 use mobsim::flash::{AllocPolicy, WearModel, WearSummary};
 use mobsim::memory::{IndexPlacement, TieredMemory};
 use mobsim::time::{SimDuration, SimInstant};
+use pocket_bench::wallclock::{thread_sweep, SweepPoint};
 use pocket_bench::{
     fleet_workload, frontend_workload, full_scale_study_inputs, materialized_month_requests,
     population_requests, population_world, skewed_arbiter_workload, test_scale_study_inputs,
@@ -134,6 +144,7 @@ fn parse_args() -> Options {
             "arbiter",
             "wear",
             "population",
+            "hotpath",
         ]
         .iter()
         .map(|s| (*s).to_owned())
@@ -170,6 +181,7 @@ fn main() {
             "arbiter" => arbiter_study(&opts),
             "wear" => wear_study(&opts),
             "population" => population_study(&opts),
+            "hotpath" => hotpath_study(&opts),
             other => eprintln!("unknown study {other:?}"),
         }
     }
@@ -1803,5 +1815,165 @@ fn population_json(
         peak_entries,
         peak_entries as f64 / users as f64,
         epochs.join(",\n")
+    )
+}
+
+/// `splitmix64` — cheap deterministic per-op key mixing for the
+/// hot-path sweep (no RNG state shared between threads).
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One thread-count point of the hot-path sweep: locked vs lock-free.
+struct HotpathRow {
+    threads: usize,
+    locked: SweepPoint,
+    lockfree: SweepPoint,
+}
+
+impl HotpathRow {
+    fn speedup(&self) -> f64 {
+        self.locked.ns_per_op / self.lockfree.ns_per_op
+    }
+}
+
+/// Median of several interleaved sweep rounds, folded back into one
+/// [`SweepPoint`].
+fn median_point(threads: usize, total_ops: u64, ns: &mut [f64]) -> SweepPoint {
+    ns.sort_by(f64::total_cmp);
+    let ns_per_op = ns[ns.len() / 2];
+    SweepPoint {
+        threads,
+        total_ops,
+        ns_per_op,
+        qps: 1e9 / ns_per_op,
+    }
+}
+
+/// The wall-clock serve hot path: `ShardedTable::lookup_locked` (the
+/// `OrderedRwLock` read-guard baseline) against `ShardedTable::lookup`
+/// (the `AtomicTable` snapshot mirror) on a hit-heavy stream at
+/// 1/8/32 threads. This is the workspace's only host-clock study; the
+/// numbers are machine-dependent by design.
+fn hotpath_study(opts: &Options) {
+    let (queries, ops_total, rounds) = if opts.full_scale {
+        (100_000u64, 1_600_000u64, 9usize)
+    } else {
+        (10_000u64, 320_000u64, 5usize)
+    };
+    let mut table = QueryHashTable::new();
+    for q in 0..queries {
+        table.upsert(q, q + 1_000_000, 0.6, ConflictPolicy::Max);
+        table.upsert(q, q + 2_000_000, 0.4, ConflictPolicy::Max);
+    }
+    let sharded = ShardedTable::from_table(&table, 8);
+    // ~94% hits: key space slightly larger than the cached one, so the
+    // miss walk is exercised without dominating.
+    let key_space = queries + queries / 16;
+    let seed = opts.seed;
+
+    let mut rows = Vec::new();
+    for threads in [1usize, 8, 32] {
+        let ops_per_thread = (ops_total / threads as u64).max(1);
+        let run_locked = || {
+            thread_sweep(threads, ops_per_thread, 1, |t, i| {
+                let key = mix64(seed ^ ((t as u64) << 40) ^ i) % key_space;
+                std::hint::black_box(sharded.lookup_locked(std::hint::black_box(key)));
+            })
+        };
+        let run_lockfree = || {
+            thread_sweep(threads, ops_per_thread, 1, |t, i| {
+                let key = mix64(seed ^ ((t as u64) << 40) ^ i) % key_space;
+                std::hint::black_box(sharded.lookup(std::hint::black_box(key)));
+            })
+        };
+        // Interleave the two variants, flipping the order every round:
+        // host load drifts on wall-clock time scales, and back-to-back
+        // rounds make that drift hit both variants equally before the
+        // medians compare like with like.
+        let mut locked_ns = Vec::with_capacity(rounds);
+        let mut lockfree_ns = Vec::with_capacity(rounds);
+        for round in 0..rounds {
+            if round % 2 == 0 {
+                locked_ns.push(run_locked().ns_per_op);
+                lockfree_ns.push(run_lockfree().ns_per_op);
+            } else {
+                lockfree_ns.push(run_lockfree().ns_per_op);
+                locked_ns.push(run_locked().ns_per_op);
+            }
+        }
+        let total_ops = threads as u64 * ops_per_thread;
+        rows.push(HotpathRow {
+            threads,
+            locked: median_point(threads, total_ops, &mut locked_ns),
+            lockfree: median_point(threads, total_ops, &mut lockfree_ns),
+        });
+    }
+
+    let mut out = Table::new(
+        format!(
+            "Ablation: wall-clock serve hot path ({} cached pairs, 8 shards, host clock — \
+             machine-dependent)",
+            table.pair_count()
+        ),
+        &[
+            "threads",
+            "locked ns/lookup",
+            "locked qps",
+            "lock-free ns/lookup",
+            "lock-free qps",
+            "speedup",
+        ],
+    );
+    for r in &rows {
+        out.row(&[
+            r.threads.to_string(),
+            format!("{:.1}", r.locked.ns_per_op),
+            format!("{:.0}", r.locked.qps),
+            format!("{:.1}", r.lockfree.ns_per_op),
+            format!("{:.0}", r.lockfree.qps),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    println!("{}", out.render());
+
+    if let Some(path) = &opts.out {
+        let json = hotpath_json(opts, table.pair_count(), &rows);
+        std::fs::write(path, json).expect("write --out file");
+        println!("wrote {path}\n");
+    }
+}
+
+/// Hand-rolled JSON for the hot-path sweep (same no-dependency schema
+/// style as [`population_json`]).
+fn hotpath_json(opts: &Options, pairs: usize, rows: &[HotpathRow]) -> String {
+    let points: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"threads\": {},\n      \"locked\": {{ \"ns_per_lookup\": \
+                 {:.2}, \"qps\": {:.0} }},\n      \"lockfree\": {{ \"ns_per_lookup\": {:.2}, \
+                 \"qps\": {:.0} }},\n      \"speedup\": {:.3}\n    }}",
+                r.threads,
+                r.locked.ns_per_op,
+                r.locked.qps,
+                r.lockfree.ns_per_op,
+                r.lockfree.qps,
+                r.speedup()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"hotpath\",\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \
+         \"cached_pairs\": {},\n  \"shards\": 8,\n  \"note\": \"wall-clock (host) time; \
+         machine-dependent trajectory, not a reproducible artifact\",\n  \"points\": \
+         [\n{}\n  ]\n}}\n",
+        if opts.full_scale { "full" } else { "test" },
+        opts.seed,
+        pairs,
+        points.join(",\n")
     )
 }

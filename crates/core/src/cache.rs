@@ -24,6 +24,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use crate::contentgen::CacheContents;
+use crate::hashtable::atomic::AtomicTable;
 use crate::hashtable::{ConflictPolicy, QueryHashTable, ScoredResult};
 use crate::ranking::RankingPolicy;
 
@@ -489,6 +490,11 @@ impl PersonalDelta {
 pub struct SplitCache {
     mode: CacheMode,
     community: Arc<CommunityCache>,
+    /// Lock-free read mirror of the frozen community table. The
+    /// snapshot never mutates after `into_shared`, so the mirror is
+    /// built once and shared by clones (cloning a `SplitCache` clones
+    /// the `Arc`, not the mirror).
+    index: Arc<AtomicTable>,
     delta: PersonalDelta,
     stats: CacheStats,
 }
@@ -496,9 +502,11 @@ pub struct SplitCache {
 impl SplitCache {
     /// A split cache for one user over a shared community snapshot.
     pub fn new(mode: CacheMode, community: Arc<CommunityCache>) -> Self {
+        let index = Arc::new(AtomicTable::from_table(community.table()));
         SplitCache {
             mode,
             community,
+            index,
             delta: PersonalDelta::new(),
             stats: CacheStats::default(),
         }
@@ -531,6 +539,8 @@ impl SplitCache {
 
     /// Pure lookup without statistics bookkeeping: delta first, then the
     /// community snapshot (mode-gated exactly like [`PocketCache`]).
+    /// The community half probes the lock-free [`AtomicTable`] mirror —
+    /// bit-identical to the table walk it replaced.
     pub fn lookup(&self, query_hash: u64) -> Option<Vec<ScoredResult>> {
         if self.mode.personalization_enabled() {
             if let Some(results) = self.delta.lookup(query_hash) {
@@ -538,7 +548,7 @@ impl SplitCache {
             }
         }
         if self.mode.community_enabled() {
-            return self.community.lookup(query_hash);
+            return self.index.lookup(query_hash);
         }
         None
     }

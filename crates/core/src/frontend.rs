@@ -54,7 +54,6 @@
 //! as its baseline.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use analysis::sync::OrderedRwLock;
 
@@ -62,6 +61,7 @@ use mobsim::time::{SimDuration, SimInstant};
 
 use crate::arbiter::{AdaptiveArbiter, BudgetDecision, EpochObservation};
 use crate::coordination::CloudletId;
+use crate::counters::CounterSet;
 use crate::service::{CloudletError, CloudletService, ServeKind, ServeOutcome, ServeStats};
 
 /// One request to the front-end: a user asking one service for one key
@@ -312,80 +312,67 @@ impl FrontendConfigBuilder {
     }
 }
 
-/// Monotonic per-lane counters, updated lock-free.
+/// Monotonic per-lane counters, updated lock-free through the shared
+/// [`CounterSet`] bank (which owns the memory-ordering argument).
 #[derive(Debug, Default)]
-struct FrontCounters {
-    events: AtomicU64,
-    hits: AtomicU64,
-    stale_hits: AtomicU64,
-    misses: AtomicU64,
-    skipped: AtomicU64,
-    errors: AtomicU64,
-    rejected: AtomicU64,
-    coalesced: AtomicU64,
-    stolen: AtomicU64,
-    radio_bytes: AtomicU64,
-    busy_micros: AtomicU64,
-}
-
-/// Adds to one statistics counter.
-fn bump(counter: &AtomicU64, amount: u64) {
-    // relaxed-ok: the counters are independent monotonic statistics;
-    // no cross-counter ordering is implied and snapshot readers
-    // tolerate torn multi-field views.
-    counter.fetch_add(amount, Ordering::Relaxed);
-}
-
-/// Reads one statistics counter for a snapshot.
-fn peek(counter: &AtomicU64) -> u64 {
-    // relaxed-ok: advisory telemetry read; see `bump`.
-    counter.load(Ordering::Relaxed)
-}
+struct FrontCounters(CounterSet<11>);
 
 impl FrontCounters {
+    const EVENTS: usize = 0;
+    const HITS: usize = 1;
+    const STALE_HITS: usize = 2;
+    const MISSES: usize = 3;
+    const SKIPPED: usize = 4;
+    const ERRORS: usize = 5;
+    const REJECTED: usize = 6;
+    const COALESCED: usize = 7;
+    const STOLEN: usize = 8;
+    const RADIO_BYTES: usize = 9;
+    const BUSY_MICROS: usize = 10;
+
     fn record_outcome(&self, outcome: &ServeOutcome, coalesced: bool, stolen: bool) {
-        bump(&self.events, 1);
+        self.0.bump(Self::EVENTS, 1);
         let bucket = match outcome.kind {
-            ServeKind::Hit => &self.hits,
-            ServeKind::StaleHit => &self.stale_hits,
-            ServeKind::Miss => &self.misses,
-            ServeKind::Skipped => &self.skipped,
+            ServeKind::Hit => Self::HITS,
+            ServeKind::StaleHit => Self::STALE_HITS,
+            ServeKind::Miss => Self::MISSES,
+            ServeKind::Skipped => Self::SKIPPED,
         };
-        bump(bucket, 1);
+        self.0.bump(bucket, 1);
         if coalesced {
-            bump(&self.coalesced, 1);
+            self.0.bump(Self::COALESCED, 1);
         } else {
             // Followers ride the leader's serve: no radio, no busy time.
-            bump(&self.radio_bytes, outcome.radio_bytes);
-            bump(&self.busy_micros, outcome.service.as_micros());
+            self.0.bump(Self::RADIO_BYTES, outcome.radio_bytes);
+            self.0.bump(Self::BUSY_MICROS, outcome.service.as_micros());
         }
         if stolen {
-            bump(&self.stolen, 1);
+            self.0.bump(Self::STOLEN, 1);
         }
     }
 
     fn record_error(&self, rejected: bool) {
-        bump(&self.events, 1);
+        self.0.bump(Self::EVENTS, 1);
         if rejected {
-            bump(&self.rejected, 1);
+            self.0.bump(Self::REJECTED, 1);
         } else {
-            bump(&self.errors, 1);
+            self.0.bump(Self::ERRORS, 1);
         }
     }
 
     fn snapshot(&self) -> LaneTotals {
         LaneTotals {
-            events: peek(&self.events),
-            hits: peek(&self.hits),
-            stale_hits: peek(&self.stale_hits),
-            misses: peek(&self.misses),
-            skipped: peek(&self.skipped),
-            errors: peek(&self.errors),
-            rejected: peek(&self.rejected),
-            coalesced: peek(&self.coalesced),
-            stolen: peek(&self.stolen),
-            radio_bytes: peek(&self.radio_bytes),
-            busy: SimDuration::from_micros(peek(&self.busy_micros)),
+            events: self.0.peek(Self::EVENTS),
+            hits: self.0.peek(Self::HITS),
+            stale_hits: self.0.peek(Self::STALE_HITS),
+            misses: self.0.peek(Self::MISSES),
+            skipped: self.0.peek(Self::SKIPPED),
+            errors: self.0.peek(Self::ERRORS),
+            rejected: self.0.peek(Self::REJECTED),
+            coalesced: self.0.peek(Self::COALESCED),
+            stolen: self.0.peek(Self::STOLEN),
+            radio_bytes: self.0.peek(Self::RADIO_BYTES),
+            busy: SimDuration::from_micros(self.0.peek(Self::BUSY_MICROS)),
         }
     }
 }

@@ -12,6 +12,8 @@
 //! serialize to [`EntryRecord`]s, and never-accessed community entries can
 //! be pruned by inspecting flags alone.
 
+pub mod atomic;
+
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,576 @@
+//! The lock-free read path over the §5.2 table: [`AtomicTable`].
+//!
+//! [`super::QueryHashTable`] is the authoritative, mutable table; it
+//! lives behind locks wherever threads share it. An `AtomicTable` is
+//! its lock-free *read mirror*: an open-addressed, immutable image of
+//! the table published through a [`SnapshotCell`], probed by readers
+//! without any lock acquisition. Each published bucket carries
+//!
+//! * the `(query_hash, salt)` identity of one chain entry,
+//! * its up-to-two scored results **inline and immutable**, and
+//! * the §5.2 64-bit flags word in an `AtomicU64`, *shared across
+//!   republished snapshots* (via `Arc`) whenever the entry's slot
+//!   layout is unchanged — so a flag bit set lock-free between two
+//!   publishes is never lost to a rebuild.
+//!
+//! Readers therefore serve hits with zero locks; writers keep mutating
+//! the locked `QueryHashTable` and republish the mirror afterwards
+//! (see `ShardedTable::write`). Lookup results are bit-identical to
+//! [`super::QueryHashTable::lookup`]: same chain walk, same
+//! `(score desc, result_hash asc)` ordering, same miss semantics —
+//! `tests/hotpath_equivalence.rs` proves this over 256 random tables.
+//!
+//! One caveat follows from the split: flag bits set through
+//! [`AtomicTable::mark_accessed`] live in the mirror only until a
+//! writer folds the same information into the locked table. Paths that
+//! need locked/lock-free bit-identity (everything the equivalence
+//! suite covers) mark accesses through the locked table and let the
+//! republish propagate them; the lock-free setter exists for read-path
+//! §5.2 bookkeeping where the mirror *is* the table of record.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::counters::CounterSet;
+use crate::error::CoreError;
+use crate::snapshot::SnapshotCell;
+
+use super::{QueryHashTable, ScoredResult, SLOTS_PER_ENTRY};
+
+/// Probe-array state: the bucket is empty.
+const STATE_EMPTY: u32 = 0;
+/// Probe-array state: occupied, and an entry with `salt + 1` exists.
+const STATE_OCCUPIED: u32 = 1;
+/// Probe-array state: occupied, and no entry with `salt + 1` exists —
+/// a chain walk can stop here instead of probing for (and missing) the
+/// next salt. Almost every query has one entry, so this halves the
+/// probes per hit.
+const STATE_LAST: u32 = 2;
+
+/// One open-addressed bucket: a chain entry's identity and `STATE_*`
+/// tag, its inline scored results, and the shared flags word.
+///
+/// Sized and aligned to exactly one 64-byte cache line so a hit costs
+/// a single line fill — the locked path's `HashMap` probe touches a
+/// SwissTable control group *and* its entry (twice, for salt 0 and the
+/// salt-1 miss), and undercutting that is where the lock-free win
+/// comes from. `flags` is `None` exactly when `state` is
+/// [`STATE_EMPTY`].
+#[repr(align(64))]
+#[derive(Debug, Clone)]
+struct Bucket {
+    query_hash: u64,
+    /// Result hash per slot; meaningful only where `present` has the
+    /// slot's bit set (slots are stored flat — `Option` per slot has
+    /// no niche and would overflow the cache line).
+    result_hashes: [u64; SLOTS_PER_ENTRY],
+    /// Score per slot, same `present` convention.
+    scores: [f32; SLOTS_PER_ENTRY],
+    salt: u32,
+    state: u32,
+    /// Bit `i`: slot `i` holds a result.
+    present: u32,
+    flags: Option<Arc<AtomicU64>>,
+}
+
+const EMPTY_BUCKET: Bucket = Bucket {
+    query_hash: 0,
+    result_hashes: [0; SLOTS_PER_ENTRY],
+    scores: [0.0; SLOTS_PER_ENTRY],
+    salt: 0,
+    state: STATE_EMPTY,
+    present: 0,
+    flags: None,
+};
+
+// The one-line-per-hit property above is load-bearing for the
+// wall-clock numbers; fail the build if the layout outgrows it.
+const _: () = assert!(std::mem::size_of::<Bucket>() == 64);
+
+/// Tag-array value for an empty bucket; occupied tags always have the
+/// high bit set, so no occupied tag collides with this.
+const TAG_EMPTY: u8 = 0;
+
+/// An immutable open-addressed image of one [`QueryHashTable`].
+///
+/// SwissTable-style split: `tags` holds one byte per bucket (empty, or
+/// the hash's low 7 bits with the high bit set) and is small enough to
+/// stay cache-resident even for six-figure tables, so the probe loop
+/// filters on it and touches the 64-byte `buckets` array **once** per
+/// hit — a 1/128 false-positive rate buys DRAM-traffic parity with the
+/// locked `HashMap` while skipping its SipHash and lock costs.
+#[derive(Debug)]
+struct TableSnapshot {
+    /// One filter byte per bucket, probed linearly.
+    tags: Vec<u8>,
+    /// Power-of-two bucket array, parallel to `tags`, ≤ 80% loaded.
+    buckets: Vec<Bucket>,
+    mask: u64,
+    /// `64 - log2(capacity)`: the Fibonacci-hash downshift.
+    shift: u32,
+    entries: usize,
+    pairs: usize,
+}
+
+/// Fibonacci (multiply-shift) mix of the `(query_hash, salt)` chain
+/// key — one multiply, spreading sequential keys across the high bits.
+/// The caller downshifts for the probe start and keeps the low 7 bits
+/// as the tag. Deterministic and dependency-free; quality only affects
+/// probe lengths, never results.
+fn probe_mix(query_hash: u64, salt: u32) -> u64 {
+    (query_hash ^ u64::from(salt).wrapping_mul(0x94D0_49BB_1331_11EB))
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The occupied-tag byte of a mixed hash: low 7 bits, high bit set.
+fn tag_of(mixed: u64) -> u8 {
+    (mixed & 0x7F) as u8 | 0x80
+}
+
+impl TableSnapshot {
+    /// Builds an image of `table`, carrying flag words over from
+    /// `carry` for entries whose slot layout is unchanged.
+    fn build(table: &QueryHashTable, carry: Option<&TableSnapshot>) -> TableSnapshot {
+        // ≤ 80% load: probe chains stay short while the bucket array
+        // stays close to the locked table's footprint (oversizing it
+        // costs TLB and DRAM locality on six-figure tables).
+        let len = table.entries.len().max(1);
+        let capacity = (len + len / 4 + 1).next_power_of_two();
+        let mask = capacity as u64 - 1;
+        let shift = u64::BITS - capacity.trailing_zeros();
+        let mut tags: Vec<u8> = vec![TAG_EMPTY; capacity];
+        let mut buckets: Vec<Bucket> = vec![EMPTY_BUCKET; capacity];
+        let mut pairs = 0;
+        for (&(query_hash, salt), entry) in &table.entries {
+            let state = if table.entries.contains_key(&(query_hash, salt + 1)) {
+                STATE_OCCUPIED
+            } else {
+                STATE_LAST
+            };
+            let mut result_hashes = [0u64; SLOTS_PER_ENTRY];
+            let mut scores = [0f32; SLOTS_PER_ENTRY];
+            let mut present = 0u32;
+            for (i, slot) in entry.slots.iter().enumerate() {
+                if let Some(s) = slot {
+                    result_hashes[i] = s.result_hash;
+                    scores[i] = s.score;
+                    present |= 1 << i;
+                }
+            }
+            pairs += present.count_ones() as usize;
+            let carried = carry.and_then(|old| old.find(query_hash, salt));
+            // "Identical layout" is bitwise: same present mask, same
+            // result hashes, bit-equal scores.
+            let same_layout = |old: &Bucket| {
+                old.present == present
+                    && old.result_hashes == result_hashes
+                    && old.scores.map(f32::to_bits) == scores.map(f32::to_bits)
+            };
+            let flags = match carried {
+                Some((_, old_bucket)) if same_layout(old_bucket) => {
+                    // Identical layout: keep the shared word so flag
+                    // bits set lock-free since the last publish
+                    // survive, and fold in bits the locked table has
+                    // accumulated meanwhile. AcqRel: publishes and
+                    // lock-free setters agree on the merged word.
+                    if let Some(old_flags) = &old_bucket.flags {
+                        old_flags.fetch_or(entry.flags, Ordering::AcqRel);
+                        Some(Arc::clone(old_flags))
+                    } else {
+                        Some(Arc::new(AtomicU64::new(entry.flags)))
+                    }
+                }
+                _ => Some(Arc::new(AtomicU64::new(entry.flags))),
+            };
+            let mixed = probe_mix(query_hash, salt);
+            let mut idx = mixed >> shift;
+            while tags[idx as usize] != TAG_EMPTY {
+                idx = (idx + 1) & mask;
+            }
+            tags[idx as usize] = tag_of(mixed);
+            buckets[idx as usize] = Bucket {
+                query_hash,
+                result_hashes,
+                scores,
+                salt,
+                state,
+                present,
+                flags,
+            };
+        }
+        TableSnapshot {
+            tags,
+            buckets,
+            mask,
+            shift,
+            entries: table.entries.len(),
+            pairs,
+        }
+    }
+
+    /// Probes for chain entry `(query_hash, salt)`: whether it
+    /// terminates the chain, plus the bucket itself. The loop walks the
+    /// byte-sized tag filter; the wide bucket array is read only on a
+    /// tag match (almost always exactly once).
+    fn find(&self, query_hash: u64, salt: u32) -> Option<(bool, &Bucket)> {
+        let mixed = probe_mix(query_hash, salt);
+        let tag = tag_of(mixed);
+        let mut idx = mixed >> self.shift;
+        loop {
+            let t = self.tags[idx as usize];
+            if t == TAG_EMPTY {
+                return None;
+            }
+            if t == tag {
+                let bucket = &self.buckets[idx as usize];
+                if bucket.query_hash == query_hash && bucket.salt == salt {
+                    return Some((bucket.state == STATE_LAST, bucket));
+                }
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Mirror of [`QueryHashTable::lookup`], bit-identical: same chain
+    /// walk, same sort, same miss semantics.
+    fn lookup(&self, query_hash: u64) -> Option<Vec<ScoredResult>> {
+        let mut out = Vec::new();
+        let mut salt = 0u32;
+        while let Some((last, bucket)) = self.find(query_hash, salt) {
+            // Acquire: pairs with the AcqRel `fetch_or` in
+            // `mark_accessed`/`build`, so an observed bit implies the
+            // marking store is fully visible. Occupied buckets always
+            // carry a flags word; the 0 default is dead code.
+            let flags = bucket
+                .flags
+                .as_ref()
+                .map_or(0, |f| f.load(Ordering::Acquire));
+            for i in 0..SLOTS_PER_ENTRY {
+                if bucket.present & (1 << i) != 0 {
+                    out.push(ScoredResult {
+                        result_hash: bucket.result_hashes[i],
+                        score: bucket.scores[i],
+                        accessed: flags & (1 << i) != 0,
+                    });
+                }
+            }
+            if last {
+                break;
+            }
+            salt += 1;
+        }
+        if out.is_empty() {
+            return None;
+        }
+        out.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then(a.result_hash.cmp(&b.result_hash))
+        });
+        Some(out)
+    }
+}
+
+/// Publication statistics of one [`AtomicTable`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AtomicTableStats {
+    /// Snapshot republishes since construction.
+    pub publishes: u64,
+    /// Lock-free accessed-flag sets since construction.
+    pub flag_sets: u64,
+}
+
+/// A lock-free read mirror of one [`QueryHashTable`].
+///
+/// # Example
+///
+/// ```
+/// use cloudlet_core::hashtable::atomic::AtomicTable;
+/// use cloudlet_core::hashtable::{ConflictPolicy, QueryHashTable};
+///
+/// let mut table = QueryHashTable::new();
+/// table.upsert(1, 10, 0.6, ConflictPolicy::Max);
+/// let mirror = AtomicTable::from_table(&table);
+/// assert_eq!(mirror.lookup(1), table.lookup(1));
+/// assert!(mirror.lookup(2).is_none());
+/// ```
+#[derive(Debug)]
+pub struct AtomicTable {
+    cell: SnapshotCell<TableSnapshot>,
+    stats: CounterSet<2>,
+}
+
+impl AtomicTable {
+    const PUBLISHES: usize = 0;
+    const FLAG_SETS: usize = 1;
+
+    /// An empty mirror.
+    pub fn new() -> Self {
+        AtomicTable::from_table(&QueryHashTable::new())
+    }
+
+    /// A mirror imaging `table` as its first snapshot.
+    pub fn from_table(table: &QueryHashTable) -> Self {
+        AtomicTable {
+            cell: SnapshotCell::new(TableSnapshot::build(table, None)),
+            stats: CounterSet::new(),
+        }
+    }
+
+    /// Rebuilds and publishes the image of `table`, carrying shared
+    /// flag words over for entries whose slot layout is unchanged.
+    ///
+    /// Callers serialize republishes through whatever lock guards the
+    /// source table (the shard write guard does this automatically);
+    /// two racing republishes could otherwise interleave their
+    /// load/publish pairs and drop one rebuild.
+    pub fn republish_from(&self, table: &QueryHashTable) {
+        let old = self.cell.load_full();
+        let next = TableSnapshot::build(table, Some(&old));
+        self.cell.publish(next);
+        self.stats.bump(Self::PUBLISHES, 1);
+    }
+
+    /// All results linked to a query, best score first, or `None` on a
+    /// cache miss — bit-identical to [`QueryHashTable::lookup`] over
+    /// the mirrored state, with zero lock acquisitions.
+    pub fn lookup(&self, query_hash: u64) -> Option<Vec<ScoredResult>> {
+        self.cell.read(|snap| snap.lookup(query_hash))
+    }
+
+    /// Whether the mirror holds any result for `query_hash`, lock-free.
+    pub fn contains_query(&self, query_hash: u64) -> bool {
+        self.cell.read(|snap| snap.find(query_hash, 0).is_some())
+    }
+
+    /// Current score of a pair, with [`QueryHashTable::score`]'s error
+    /// contract.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::QueryNotCached`] when the query misses entirely;
+    /// [`CoreError::ResultNotLinked`] when the query exists but the
+    /// result is not among its slots.
+    pub fn score(&self, query_hash: u64, result_hash: u64) -> Result<f32, CoreError> {
+        let results = self
+            .lookup(query_hash)
+            .ok_or(CoreError::QueryNotCached { query_hash })?;
+        results
+            .iter()
+            .find(|r| r.result_hash == result_hash)
+            .map(|r| r.score)
+            .ok_or(CoreError::ResultNotLinked {
+                query_hash,
+                result_hash,
+            })
+    }
+
+    /// Sets a pair's accessed bit lock-free (`fetch_or` on the shared
+    /// flags word), with [`QueryHashTable::mark_accessed`]'s error
+    /// contract. The bit survives republishes of an unchanged entry;
+    /// see the module docs for when it reaches the locked table.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AtomicTable::score`].
+    pub fn mark_accessed(&self, query_hash: u64, result_hash: u64) -> Result<(), CoreError> {
+        let outcome = self.cell.read(|snap| {
+            let mut salt = 0u32;
+            let mut query_seen = false;
+            while let Some((last, bucket)) = snap.find(query_hash, salt) {
+                query_seen = true;
+                for i in 0..SLOTS_PER_ENTRY {
+                    if bucket.present & (1 << i) != 0 && bucket.result_hashes[i] == result_hash {
+                        // AcqRel: the set must be visible to the next
+                        // publish's carry-over merge and to readers
+                        // that observe the bit.
+                        if let Some(flags) = &bucket.flags {
+                            flags.fetch_or(1 << i, Ordering::AcqRel);
+                        }
+                        return Ok(());
+                    }
+                }
+                if last {
+                    break;
+                }
+                salt += 1;
+            }
+            if query_seen {
+                Err(CoreError::ResultNotLinked {
+                    query_hash,
+                    result_hash,
+                })
+            } else {
+                Err(CoreError::QueryNotCached { query_hash })
+            }
+        });
+        if outcome.is_ok() {
+            self.stats.bump(Self::FLAG_SETS, 1);
+        }
+        outcome
+    }
+
+    /// Number of mirrored chain entries.
+    pub fn entry_count(&self) -> usize {
+        self.cell.read(|snap| snap.entries)
+    }
+
+    /// Number of mirrored `(query, result)` pairs.
+    pub fn pair_count(&self) -> usize {
+        self.cell.read(|snap| snap.pairs)
+    }
+
+    /// Whether the mirror holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pair_count() == 0
+    }
+
+    /// DRAM footprint of the mirrored table under the paper's fixed
+    /// entry layout (matches [`QueryHashTable::footprint_bytes`]).
+    pub fn footprint_bytes(&self) -> usize {
+        self.entry_count() * QueryHashTable::layout_bytes(SLOTS_PER_ENTRY)
+    }
+
+    /// Publication statistics.
+    pub fn stats(&self) -> AtomicTableStats {
+        AtomicTableStats {
+            publishes: self.stats.peek(Self::PUBLISHES),
+            flag_sets: self.stats.peek(Self::FLAG_SETS),
+        }
+    }
+}
+
+impl Default for AtomicTable {
+    fn default() -> Self {
+        AtomicTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::ConflictPolicy;
+    use super::*;
+
+    fn seeded_table(queries: u64, per_query: u64) -> QueryHashTable {
+        let mut table = QueryHashTable::new();
+        for q in 0..queries {
+            for r in 0..per_query {
+                table.upsert(
+                    q,
+                    1_000 + q * 10 + r,
+                    0.1 + r as f32 * 0.2,
+                    ConflictPolicy::Max,
+                );
+            }
+            if q % 3 == 0 {
+                table
+                    .mark_accessed(q, 1_000 + q * 10)
+                    .expect("pair was just inserted");
+            }
+        }
+        table
+    }
+
+    #[test]
+    fn mirrors_every_lookup_bit_for_bit() {
+        for (queries, per_query) in [(0, 0), (1, 1), (7, 2), (40, 3), (13, 5)] {
+            let table = seeded_table(queries, per_query);
+            let mirror = AtomicTable::from_table(&table);
+            assert_eq!(mirror.entry_count(), table.entry_count());
+            assert_eq!(mirror.pair_count(), table.pair_count());
+            assert_eq!(mirror.footprint_bytes(), table.footprint_bytes());
+            for q in 0..queries + 5 {
+                assert_eq!(mirror.lookup(q), table.lookup(q), "query {q}");
+                assert_eq!(mirror.contains_query(q), table.contains_query(q));
+            }
+        }
+    }
+
+    #[test]
+    fn score_and_mark_accessed_share_the_locked_error_contract() {
+        let table = seeded_table(4, 2);
+        let mirror = AtomicTable::from_table(&table);
+        assert_eq!(
+            mirror.score(1, 1_010).unwrap(),
+            table.score(1, 1_010).unwrap()
+        );
+        assert!(matches!(
+            mirror.score(99, 1),
+            Err(CoreError::QueryNotCached { query_hash: 99 })
+        ));
+        assert!(matches!(
+            mirror.mark_accessed(1, 42),
+            Err(CoreError::ResultNotLinked { .. })
+        ));
+        assert!(matches!(
+            mirror.mark_accessed(99, 1),
+            Err(CoreError::QueryNotCached { .. })
+        ));
+    }
+
+    #[test]
+    fn lock_free_flag_sets_survive_same_layout_republishes() {
+        let table = seeded_table(6, 2);
+        let mirror = AtomicTable::from_table(&table);
+        mirror.mark_accessed(1, 1_011).expect("pair exists");
+        let accessed = |m: &AtomicTable, q: u64, r: u64| {
+            m.lookup(q)
+                .expect("query cached")
+                .iter()
+                .find(|s| s.result_hash == r)
+                .expect("result linked")
+                .accessed
+        };
+        assert!(accessed(&mirror, 1, 1_011));
+        // Republishing the unchanged table keeps the lock-free bit...
+        mirror.republish_from(&table);
+        assert!(accessed(&mirror, 1, 1_011), "bit lost to a republish");
+        // ...and folds in bits the locked table accumulated meanwhile.
+        let mut table2 = table.clone();
+        table2.mark_accessed(2, 1_020).expect("pair exists");
+        mirror.republish_from(&table2);
+        assert!(accessed(&mirror, 2, 1_020));
+        assert!(accessed(&mirror, 1, 1_011));
+        assert_eq!(mirror.stats().publishes, 2);
+        assert_eq!(mirror.stats().flag_sets, 1);
+    }
+
+    #[test]
+    fn changed_entries_take_the_locked_tables_flags() {
+        let mut table = seeded_table(3, 2);
+        let mirror = AtomicTable::from_table(&table);
+        mirror.mark_accessed(1, 1_010).expect("pair exists");
+        // Adding a third result reshapes query 1's chain; the republished
+        // entry layout for (1, salt 1) is new, but (1, salt 0) is
+        // unchanged and keeps the carried bit.
+        table.upsert(1, 9_999, 0.9, ConflictPolicy::Max);
+        mirror.republish_from(&table);
+        assert_eq!(
+            mirror.lookup(1),
+            table
+                .lookup(1)
+                .map(|mut expected| {
+                    // The locked table never saw the lock-free bit, so fold it
+                    // into the expectation for the unchanged slot.
+                    for r in &mut expected {
+                        if r.result_hash == 1_010 {
+                            r.accessed = true;
+                        }
+                    }
+                    expected
+                })
+                .expect("query cached")
+                .into()
+        );
+        assert!(mirror.lookup(1).is_some());
+    }
+
+    #[test]
+    fn empty_and_default_mirrors_miss_everything() {
+        let mirror = AtomicTable::default();
+        assert!(mirror.is_empty());
+        assert_eq!(mirror.lookup(0), None);
+        assert!(!mirror.contains_query(0));
+        assert_eq!(mirror.stats(), AtomicTableStats::default());
+    }
+}

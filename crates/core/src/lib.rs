@@ -41,7 +41,13 @@
 //! * [`corpus`] — the small trait that ties hashes and record sizes back
 //!   to a concrete corpus (implemented for `querylog::Universe`).
 //! * [`shard`] — the query hash table partitioned into independently
-//!   locked shards for concurrent serving.
+//!   locked shards for concurrent serving, each with a lock-free
+//!   [`hashtable::atomic::AtomicTable`] read mirror for the hit path.
+//! * [`snapshot`] — the safe `arc-swap`-style [`snapshot::SnapshotCell`]
+//!   the lock-free read path publishes through.
+//! * [`counters`] — the shared lock-free [`counters::CounterSet`]
+//!   statistics bank used by the front-end, the search fleet, and the
+//!   atomic table.
 //!
 //! # Scaling beyond one device
 //!
@@ -78,6 +84,7 @@ pub mod cache;
 pub mod contentgen;
 pub mod coordination;
 pub mod corpus;
+pub mod counters;
 pub mod error;
 pub mod frontend;
 pub mod hashtable;
@@ -86,6 +93,7 @@ pub mod population;
 pub mod ranking;
 pub mod service;
 pub mod shard;
+pub mod snapshot;
 pub mod update;
 
 pub use arbiter::{AdaptiveArbiter, ArbiterConfig, BudgetDecision, DemandContext};
@@ -93,14 +101,17 @@ pub use cache::{CacheMode, CommunityCache, LookupOutcome, PersonalDelta, PocketC
 pub use contentgen::{AdmissionPolicy, CacheContents, CachePair};
 pub use coordination::{CloudletBudgets, CloudletId, CoordinatedEviction};
 pub use corpus::{CorpusView, UniverseCorpus};
+pub use counters::CounterSet;
 pub use error::CoreError;
 pub use frontend::{
     Frontend, FrontendConfig, FrontendReport, FrontendTelemetry, HitPathMode, OverflowPolicy,
     RouteBy, ServeRequest,
 };
+pub use hashtable::atomic::{AtomicTable, AtomicTableStats};
 pub use hashtable::{QueryHashTable, ScoredResult, SLOTS_PER_ENTRY};
 pub use population::{PairTable, PopulationConfig, PopulationLane, PopulationResidency};
 pub use ranking::RankingPolicy;
 pub use service::{CloudletError, CloudletService, ServeKind, ServeOutcome, ServeStats};
-pub use shard::ShardedTable;
+pub use shard::{ShardWriteGuard, ShardedTable};
+pub use snapshot::SnapshotCell;
 pub use update::{UpdateBundle, UpdateServer};

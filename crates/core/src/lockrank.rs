@@ -17,6 +17,26 @@
 //!
 //! Adding a lock? Give it a rank that reflects where it nests, leave
 //! gaps for future layers, and extend this list.
+//!
+//! # Lock-free paths (no rank consumed)
+//!
+//! Since the hot-path rebuild, a cache **hit** consumes no rank at the
+//! shard layer at all: [`crate::shard::ShardedTable::lookup`], the
+//! community half of [`crate::cache::SplitCache::lookup`], and
+//! `PopulationLane`'s community-only fast path all probe an
+//! [`crate::hashtable::atomic::AtomicTable`] read mirror — published
+//! snapshots resolved through [`crate::snapshot::SnapshotCell`] with
+//! atomic loads only. The front-end lane lock is still taken (shared,
+//! [`FRONT_LANE`]) to pin the service slot, but the [`SHARD`] rank is
+//! only reached by misses and updates, which keep the ordered write
+//! path.
+//!
+//! `SnapshotCell` internally holds a plain `std::sync::Mutex` on its
+//! writer side. It is deliberately *unranked*: it is a leaf — nothing
+//! is ever acquired while it is held (publishers allocate before
+//! locking, and the slow read path only clones an `Arc` under it) — so
+//! it cannot participate in any cycle, and steady-state readers never
+//! touch it.
 
 /// Rank of a pipelined front-end lane (`frontend::FrontLane`).
 pub const FRONT_LANE: u32 = 10;

@@ -30,6 +30,7 @@ use std::sync::Arc;
 use mobsim::time::{SimDuration, SimInstant};
 
 use crate::cache::{CacheMode, CommunityCache, PersonalDelta};
+use crate::hashtable::atomic::AtomicTable;
 use crate::service::{CloudletError, CloudletService, ServeOutcome, ServeStats};
 
 /// Accounting bytes per pair-table row: two 64-bit hashes.
@@ -134,6 +135,9 @@ pub struct PopulationResidency {
 pub struct PopulationLane {
     config: PopulationConfig,
     community: Arc<CommunityCache>,
+    /// Lock-free read mirror of the frozen community table, shared by
+    /// clones; `is_hit` and the fast hit path probe it with zero locks.
+    index: Arc<AtomicTable>,
     pairs: Arc<PairTable>,
     deltas: HashMap<u64, PersonalDelta>,
     stats: ServeStats,
@@ -147,9 +151,11 @@ impl PopulationLane {
         community: Arc<CommunityCache>,
         pairs: Arc<PairTable>,
     ) -> Self {
+        let index = Arc::new(AtomicTable::from_table(community.table()));
         PopulationLane {
             config,
             community,
+            index,
             pairs,
             deltas: HashMap::new(),
             stats: ServeStats::default(),
@@ -198,7 +204,7 @@ impl PopulationLane {
         {
             return true;
         }
-        self.config.mode.community_enabled() && self.community.contains_query(query_hash)
+        self.config.mode.community_enabled() && self.index.contains_query(query_hash)
     }
 }
 
@@ -242,6 +248,29 @@ impl CloudletService for PopulationLane {
             self.delta_bytes = self.delta_bytes + delta.footprint_bytes() - before;
         }
         Ok(outcome)
+    }
+
+    /// Anonymous form of the fast path below (the community probe is
+    /// user-independent).
+    fn try_serve_hit(&self, key: u64, now: SimInstant) -> Option<ServeOutcome> {
+        self.try_serve_hit_user(0, key, now)
+    }
+
+    /// Lock-free community fast path: in community-only mode a serve
+    /// has no side effects beyond statistics (which the fast-path
+    /// caller records), so a hit can be answered from the shared
+    /// [`AtomicTable`] mirror without exclusive access. In any
+    /// personalization mode every serve must fold the click into the
+    /// user's delta, so the fast path declines and the write path runs.
+    /// Misses also decline: the miss click may materialize a delta.
+    fn try_serve_hit_user(&self, _user: u64, key: u64, _now: SimInstant) -> Option<ServeOutcome> {
+        if self.config.mode != CacheMode::CommunityOnly {
+            return None;
+        }
+        let (query_hash, _) = self.pairs.get(key)?;
+        self.index
+            .contains_query(query_hash)
+            .then(|| ServeOutcome::hit().with_service(self.config.hit_service))
     }
 
     fn service_stats(&self) -> ServeStats {
@@ -342,6 +371,30 @@ mod tests {
             lane.serve_user(1, 3, SimInstant::ZERO).unwrap().kind,
             ServeKind::Miss
         );
+    }
+
+    #[test]
+    fn community_only_fast_path_matches_the_write_path() {
+        let (community, pairs) = world();
+        let config = PopulationConfig {
+            mode: CacheMode::CommunityOnly,
+            ..PopulationConfig::default()
+        };
+        let mut lane = PopulationLane::new(config, community.clone(), pairs.clone());
+        // A community hit is answered lock-free with the exact outcome
+        // the write path would produce.
+        let fast = lane
+            .try_serve_hit_user(1, 0, SimInstant::ZERO)
+            .expect("community hit");
+        let slow = lane.serve_user(1, 0, SimInstant::ZERO).unwrap();
+        assert_eq!(fast, slow);
+        assert_eq!(lane.try_serve_hit(0, SimInstant::ZERO), Some(fast));
+        // Misses and unknown keys decline to the write path.
+        assert_eq!(lane.try_serve_hit_user(1, 3, SimInstant::ZERO), None);
+        assert_eq!(lane.try_serve_hit_user(1, 99, SimInstant::ZERO), None);
+        // Personalization modes always decline: the click must fold.
+        let full = PopulationLane::new(PopulationConfig::default(), community, pairs);
+        assert_eq!(full.try_serve_hit_user(1, 0, SimInstant::ZERO), None);
     }
 
     #[test]

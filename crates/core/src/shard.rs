@@ -14,9 +14,19 @@
 //! be acquired while a shard guard is held, and the whole-table
 //! aggregations below therefore take their per-shard guards one at a
 //! time (a guard per iteration, never two at once).
+//!
+//! Since the lock-free hot-path rebuild, each shard also carries an
+//! [`AtomicTable`] read **mirror**: [`ShardedTable::lookup`] probes the
+//! mirror with zero lock acquisitions, while writers go through
+//! [`ShardedTable::write`], whose [`ShardWriteGuard`] republishes the
+//! owning shard's mirror when dropped. The locked table stays
+//! authoritative; [`ShardedTable::lookup_locked`] keeps the original
+//! guarded path as the baseline the wall-clock benches and equivalence
+//! proptests compare against.
 
 use analysis::sync::{OrderedReadGuard, OrderedRwLock, OrderedWriteGuard};
 
+use crate::hashtable::atomic::AtomicTable;
 use crate::hashtable::{EntryRecord, QueryHashTable, ScoredResult};
 use crate::lockrank;
 
@@ -39,13 +49,62 @@ use crate::lockrank;
 #[derive(Debug)]
 pub struct ShardedTable {
     shards: Vec<OrderedRwLock<QueryHashTable>>,
+    mirrors: Vec<AtomicTable>,
 }
 
 fn shard_lock(table: QueryHashTable) -> OrderedRwLock<QueryHashTable> {
     OrderedRwLock::new(lockrank::SHARD, "shard", table)
 }
 
+/// Write access to one shard: a rank-checked write guard that
+/// republishes the shard's lock-free read mirror when dropped, so
+/// mutations made through it become visible to [`ShardedTable::lookup`]
+/// at guard drop (statement end for the common
+/// `sharded.write(s).upsert(..)` temporary).
+pub struct ShardWriteGuard<'a> {
+    guard: OrderedWriteGuard<'a, QueryHashTable>,
+    mirror: &'a AtomicTable,
+}
+
+impl std::fmt::Debug for ShardWriteGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardWriteGuard")
+            .field("mirror", self.mirror)
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::ops::Deref for ShardWriteGuard<'_> {
+    type Target = QueryHashTable;
+
+    fn deref(&self) -> &QueryHashTable {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for ShardWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut QueryHashTable {
+        &mut self.guard
+    }
+}
+
+impl Drop for ShardWriteGuard<'_> {
+    fn drop(&mut self) {
+        // Republish while the write lock is still held: writers are
+        // serialized, so mirror publications can never interleave.
+        self.mirror.republish_from(&self.guard);
+    }
+}
+
 impl ShardedTable {
+    fn from_shard_tables(tables: Vec<QueryHashTable>) -> Self {
+        let mirrors = tables.iter().map(AtomicTable::from_table).collect();
+        ShardedTable {
+            shards: tables.into_iter().map(shard_lock).collect(),
+            mirrors,
+        }
+    }
+
     /// `n_shards` empty shards.
     ///
     /// # Panics
@@ -53,11 +112,7 @@ impl ShardedTable {
     /// Panics when `n_shards` is zero.
     pub fn new(n_shards: usize) -> Self {
         assert!(n_shards > 0, "a sharded table needs at least one shard");
-        ShardedTable {
-            shards: (0..n_shards)
-                .map(|_| shard_lock(QueryHashTable::new()))
-                .collect(),
-        }
+        ShardedTable::from_shard_tables((0..n_shards).map(|_| QueryHashTable::new()).collect())
     }
 
     /// Partitions `table` into `n_shards` shards by `query_hash % n_shards`.
@@ -76,12 +131,12 @@ impl ShardedTable {
             let shard = (record.query_hash % n_shards as u64) as usize;
             buckets[shard].push(record);
         }
-        ShardedTable {
-            shards: buckets
+        ShardedTable::from_shard_tables(
+            buckets
                 .into_iter()
-                .map(|records| shard_lock(QueryHashTable::from_records(&records)))
+                .map(|records| QueryHashTable::from_records(&records))
                 .collect(),
-        }
+        )
     }
 
     /// Number of shards.
@@ -108,18 +163,38 @@ impl ShardedTable {
     }
 
     /// Write access to one shard's table, recovering a poisoned lock
-    /// the same way [`ShardedTable::read`] does.
+    /// the same way [`ShardedTable::read`] does. Dropping the returned
+    /// guard republishes the shard's lock-free read mirror.
     ///
     /// # Panics
     ///
     /// Panics when `shard` is out of range.
-    pub fn write(&self, shard: usize) -> OrderedWriteGuard<'_, QueryHashTable> {
-        self.shards[shard].write()
+    pub fn write(&self, shard: usize) -> ShardWriteGuard<'_> {
+        ShardWriteGuard {
+            guard: self.shards[shard].write(),
+            mirror: &self.mirrors[shard],
+        }
     }
 
-    /// Looks `query_hash` up in its owning shard; results match the
-    /// unsharded table's ordering exactly.
+    /// The lock-free read mirror of one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn mirror(&self, shard: usize) -> &AtomicTable {
+        &self.mirrors[shard]
+    }
+
+    /// Looks `query_hash` up in its owning shard's lock-free mirror —
+    /// zero lock acquisitions; results match the unsharded table's
+    /// ordering exactly.
     pub fn lookup(&self, query_hash: u64) -> Option<Vec<ScoredResult>> {
+        self.mirrors[self.shard_of(query_hash)].lookup(query_hash)
+    }
+
+    /// The original guarded lookup path, kept as the locked baseline
+    /// for the wall-clock benches and the equivalence proptests.
+    pub fn lookup_locked(&self, query_hash: u64) -> Option<Vec<ScoredResult>> {
         self.read(self.shard_of(query_hash)).lookup(query_hash)
     }
 
@@ -226,6 +301,24 @@ mod tests {
         assert_eq!(sharded.pair_counts(), vec![0, 0, 1, 0]);
         let results = sharded.lookup(q).expect("pair was inserted");
         assert_eq!(results[0].result_hash, 99);
+    }
+
+    #[test]
+    fn write_guard_republishes_the_mirror_on_drop() {
+        let table = seeded_table(20, 2);
+        let sharded = ShardedTable::from_table(&table, 4);
+        for q in 0..25 {
+            assert_eq!(sharded.lookup(q), sharded.lookup_locked(q), "query {q}");
+        }
+        let q = 5u64;
+        {
+            let mut guard = sharded.write(sharded.shard_of(q));
+            guard.upsert(q, 7_777, 0.99, ConflictPolicy::Max);
+        }
+        let results = sharded.lookup(q).expect("query cached");
+        assert_eq!(results[0].result_hash, 7_777);
+        assert_eq!(sharded.lookup(q), sharded.lookup_locked(q));
+        assert_eq!(sharded.mirror(sharded.shard_of(q)).stats().publishes, 1);
     }
 
     #[test]

@@ -31,11 +31,11 @@
 //! clock, so batch reports are bit-reproducible across machines.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use cloudlet_core::arbiter::DemandContext;
 use cloudlet_core::coordination::{CloudletBudgets, CloudletId};
+use cloudlet_core::counters::CounterSet;
 use cloudlet_core::frontend::{Frontend, FrontendConfig, ServeRequest};
 use cloudlet_core::service::{CloudletError, CloudletService, ServeKind, ServeOutcome, ServeStats};
 use cloudlet_core::shard::ShardedTable;
@@ -109,64 +109,51 @@ impl FleetServed {
     }
 }
 
-/// Monotonic per-lane counters, updated lock-free by workers.
+/// Monotonic per-lane counters, updated lock-free by workers through
+/// the shared [`CounterSet`] bank (which owns the ordering argument).
 #[derive(Debug, Default)]
-struct LaneCounters {
-    events: AtomicU64,
-    hits: AtomicU64,
-    stale_hits: AtomicU64,
-    misses: AtomicU64,
-    skipped: AtomicU64,
-    errors: AtomicU64,
-    radio_bytes: AtomicU64,
-    busy_micros: AtomicU64,
-}
-
-/// Adds to one statistics counter.
-fn bump(counter: &AtomicU64, amount: u64) {
-    // relaxed-ok: the counters are independent monotonic statistics;
-    // no cross-counter ordering is implied and snapshot readers
-    // tolerate torn multi-field views.
-    counter.fetch_add(amount, Ordering::Relaxed);
-}
-
-/// Reads one statistics counter for a snapshot.
-fn peek(counter: &AtomicU64) -> u64 {
-    // relaxed-ok: advisory telemetry read; see `bump`.
-    counter.load(Ordering::Relaxed)
-}
+struct LaneCounters(CounterSet<8>);
 
 impl LaneCounters {
+    const EVENTS: usize = 0;
+    const HITS: usize = 1;
+    const STALE_HITS: usize = 2;
+    const MISSES: usize = 3;
+    const SKIPPED: usize = 4;
+    const ERRORS: usize = 5;
+    const RADIO_BYTES: usize = 6;
+    const BUSY_MICROS: usize = 7;
+
     fn record(&self, result: &Result<ServeOutcome, CloudletError>) {
-        bump(&self.events, 1);
+        self.0.bump(Self::EVENTS, 1);
         match result {
             Ok(outcome) => {
                 let bucket = match outcome.kind {
-                    ServeKind::Hit => &self.hits,
-                    ServeKind::StaleHit => &self.stale_hits,
-                    ServeKind::Miss => &self.misses,
-                    ServeKind::Skipped => &self.skipped,
+                    ServeKind::Hit => Self::HITS,
+                    ServeKind::StaleHit => Self::STALE_HITS,
+                    ServeKind::Miss => Self::MISSES,
+                    ServeKind::Skipped => Self::SKIPPED,
                 };
-                bump(bucket, 1);
-                bump(&self.radio_bytes, outcome.radio_bytes);
-                bump(&self.busy_micros, outcome.service.as_micros());
+                self.0.bump(bucket, 1);
+                self.0.bump(Self::RADIO_BYTES, outcome.radio_bytes);
+                self.0.bump(Self::BUSY_MICROS, outcome.service.as_micros());
             }
             Err(_) => {
-                bump(&self.errors, 1);
+                self.0.bump(Self::ERRORS, 1);
             }
         }
     }
 
     fn snapshot(&self) -> ShardReport {
         ShardReport {
-            events: peek(&self.events),
-            hits: peek(&self.hits),
-            stale_hits: peek(&self.stale_hits),
-            misses: peek(&self.misses),
-            skipped: peek(&self.skipped),
-            errors: peek(&self.errors),
-            radio_bytes: peek(&self.radio_bytes),
-            busy: SimDuration::from_micros(peek(&self.busy_micros)),
+            events: self.0.peek(Self::EVENTS),
+            hits: self.0.peek(Self::HITS),
+            stale_hits: self.0.peek(Self::STALE_HITS),
+            misses: self.0.peek(Self::MISSES),
+            skipped: self.0.peek(Self::SKIPPED),
+            errors: self.0.peek(Self::ERRORS),
+            radio_bytes: self.0.peek(Self::RADIO_BYTES),
+            busy: SimDuration::from_micros(self.0.peek(Self::BUSY_MICROS)),
         }
     }
 }

@@ -23,6 +23,9 @@ cargo test -q -p mobsim --lib flash
 echo "==> cargo test -q -p querylog --lib stream (fast event-stream gate)"
 cargo test -q -p querylog --lib stream
 
+echo "==> cargo test -q -p cloudlet-core --lib hashtable::atomic (fast hot-path gate)"
+cargo test -q -p cloudlet-core --lib hashtable::atomic
+
 echo "==> cargo test -q"
 cargo test -q
 
