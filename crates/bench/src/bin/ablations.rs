@@ -3,7 +3,8 @@
 //! ```text
 //! ablations [--study <id>] [--scale test|full] [--seed N] [--out <path>]
 //!   ids: lambda admission tiers freshness maps battery suggest radios
-//!        offload fleet frontend arbiter wear population hotpath all
+//!        offload fleet frontend arbiter wear population peers hotpath
+//!        all
 //! ```
 //!
 //! * `lambda` — §5.3's decay constant: hit rate and ranking quality
@@ -59,6 +60,14 @@
 //!   reports the diurnal hit-ratio/shed/radio-energy time series and
 //!   asserts resident memory is O(users), not O(events). With `--out`,
 //!   also writes the run as JSON (`BENCH_population.json`).
+//! * `peers` — the cooperative cloudlet tier: devices pooled into peer
+//!   cells replay a shared-interest workload swept over cell size ×
+//!   summary bits × interest skew against the solo baseline, reporting
+//!   hit ratio, peer serves, Bloom false-positive probes, and radio vs
+//!   peer-link energy. Re-asserts on every run that a cell of one
+//!   reproduces solo telemetry bit for bit and that every avoided miss
+//!   is a peer serve. With `--out`, also writes the sweep as JSON
+//!   (`BENCH_peers.json`).
 
 use baselines::{CacheRequest, LfuQueryCache, LruQueryCache, QueryCache};
 use cloudlet_core::arbiter::{AdaptiveArbiter, ArbiterConfig, EpochObservation};
@@ -70,6 +79,7 @@ use cloudlet_core::frontend::{
     Frontend, FrontendConfig, HitPathMode, LaneTotals, OverflowPolicy, RouteBy, ServeRequest,
 };
 use cloudlet_core::hashtable::{ConflictPolicy, QueryHashTable};
+use cloudlet_core::peer::{PeerConfig, PeerFabricStats};
 use cloudlet_core::population::{PopulationConfig, PopulationLane};
 use cloudlet_core::ranking::RankingPolicy;
 use cloudlet_core::service::{CloudletService, ServeStats};
@@ -81,8 +91,8 @@ use mobsim::time::{SimDuration, SimInstant};
 use pocket_bench::wallclock::{thread_sweep, SweepPoint};
 use pocket_bench::{
     fleet_workload, frontend_workload, full_scale_study_inputs, materialized_month_requests,
-    population_requests, population_world, skewed_arbiter_workload, test_scale_study_inputs,
-    PopulationWorld, StudyInputs, Table,
+    peer_cell_workload, population_requests, population_world, skewed_arbiter_workload,
+    test_scale_study_inputs, PeerWorkload, PopulationWorld, StudyInputs, Table,
 };
 use pocketsearch::config::PocketSearchConfig;
 use pocketsearch::engine::{PocketSearch, RecoveryStats};
@@ -144,6 +154,7 @@ fn parse_args() -> Options {
             "arbiter",
             "wear",
             "population",
+            "peers",
             "hotpath",
         ]
         .iter()
@@ -181,6 +192,7 @@ fn main() {
             "arbiter" => arbiter_study(&opts),
             "wear" => wear_study(&opts),
             "population" => population_study(&opts),
+            "peers" => peers_study(&opts),
             "hotpath" => hotpath_study(&opts),
             other => eprintln!("unknown study {other:?}"),
         }
@@ -1543,6 +1555,17 @@ fn population_frontend(world: &PopulationWorld, lanes: usize) -> Frontend {
     Frontend::new(vec![services], config)
 }
 
+/// Energy of one 3G radio miss under the population lane's default
+/// request/payload sizes, in millijoules — the per-miss cost both the
+/// `population` and `peers` studies bill against the battery.
+fn population_miss_energy_mj() -> f64 {
+    use mobsim::radio::RadioKind;
+    let radio = RadioKind::ThreeG.default_model();
+    let active =
+        radio.wakeup + radio.warm_exchange_time(200, PopulationConfig::default().miss_radio_bytes);
+    radio.active_extra_power.over(active).millijoules()
+}
+
 /// Population-scale streaming: one simulated day for a population far
 /// larger than the generator's (1M users at full scale) flows through
 /// the front-end one diurnal epoch at a time. The event stream derives
@@ -1599,13 +1622,7 @@ fn population_study(opts: &Options) {
     );
     let mut arbitrations = 0u32;
 
-    let miss_energy_mj = {
-        use mobsim::radio::RadioKind;
-        let radio = RadioKind::ThreeG.default_model();
-        let active = radio.wakeup
-            + radio.warm_exchange_time(200, PopulationConfig::default().miss_radio_bytes);
-        radio.active_extra_power.over(active).millijoules()
-    };
+    let miss_energy_mj = population_miss_energy_mj();
 
     // A stream over the full 28-day month, of which the study consumes
     // exactly day 0's epochs — so each user contributes a *day's* worth
@@ -1815,6 +1832,278 @@ fn population_json(
         peak_entries,
         peak_entries as f64 / users as f64,
         epochs.join(",\n")
+    )
+}
+
+/// One arm of the peers sweep: a cell size × summary width point of one
+/// skew's workload, measured over the post-warm-up stream only.
+struct PeersRow {
+    skew: f64,
+    bits: usize,
+    cell: usize,
+    events: u64,
+    hits: u64,
+    misses: u64,
+    fabric: PeerFabricStats,
+    radio_bytes: u64,
+    peer_bytes: u64,
+    radio_energy_mj: f64,
+    peer_energy_mj: f64,
+}
+
+impl PeersRow {
+    fn hit_ratio(&self) -> f64 {
+        self.hits as f64 / self.events.max(1) as f64
+    }
+}
+
+/// Replays one arm: a fresh user-routed front-end (one device per
+/// lane), the warm-up pass that seeds each device's delta over the
+/// radio, then cell attachment and the measured stream. Summaries are
+/// built *after* warm-up and frozen through the measurement, so every
+/// arm of one skew serves the identical request sequence against
+/// identical lane state — only the cell grouping differs.
+fn peers_arm(
+    world: &PopulationWorld,
+    workload: &PeerWorkload,
+    devices: usize,
+    cell: usize,
+    skew: f64,
+    config: PeerConfig,
+    miss_energy_mj: f64,
+) -> PeersRow {
+    let mut frontend = population_frontend(world, devices);
+    frontend
+        .serve_batch(&workload.warmup)
+        .expect("warm-up batch");
+    let cells = frontend.attach_peer_cells(0, cell, config);
+    let batch = frontend
+        .serve_batch(&workload.measure)
+        .expect("measured batch");
+    let report = &batch.report;
+
+    // Cells were attached after warm-up, so their counters cover
+    // exactly the measured stream; the front-end's view of peer serves
+    // must agree with the fabrics' own.
+    let mut fabric = PeerFabricStats::default();
+    for stats in cells.iter().map(|c| c.telemetry()) {
+        fabric.consults += stats.consults;
+        fabric.peer_hits += stats.peer_hits;
+        fabric.false_positives += stats.false_positives;
+        fabric.peer_bytes += stats.peer_bytes;
+        fabric.radio_fallbacks += stats.radio_fallbacks;
+    }
+    assert_eq!(report.peer_hits(), fabric.peer_hits);
+    assert_eq!(report.peer_bytes(), fabric.peer_bytes);
+
+    PeersRow {
+        skew,
+        bits: config.summary_bits,
+        cell,
+        events: report.events(),
+        hits: report.hits(),
+        misses: report.misses(),
+        fabric,
+        radio_bytes: report.radio_bytes(),
+        peer_bytes: report.peer_bytes(),
+        radio_energy_mj: report.misses() as f64 * miss_energy_mj,
+        peer_energy_mj: fabric.peer_hits as f64 * config.fetch_energy_mj()
+            + fabric.false_positives as f64 * config.probe_energy_mj(),
+    }
+}
+
+/// The cooperative cloudlet tier: devices pooled into peer cells of
+/// 2–8 replay a shared-interest stream against the solo baseline,
+/// swept over cell size × Bloom summary width × interest skew. The
+/// acceptance bar is asserted in-run so the committed artifact is
+/// witness: every pooled arm's hit ratio is strictly above — and its
+/// per-user radio energy strictly below — the solo baseline's, a cell
+/// of one reproduces solo telemetry bit for bit, and every miss the
+/// baseline suffers but a pooled arm avoids is accounted for by
+/// exactly one peer serve.
+fn peers_study(opts: &Options) {
+    let config = if opts.full_scale {
+        GeneratorConfig::full_scale()
+    } else {
+        GeneratorConfig::test_scale()
+    };
+    let world = population_world(config, opts.seed, 0.55);
+    let (devices, pool, per_device) = if opts.full_scale {
+        (24usize, 24usize, 400usize)
+    } else {
+        (12, 8, 120)
+    };
+    let cell_sweep = [2usize, 4, 8];
+    let bits_sweep = [64usize, 1024];
+    let skews = [0.3, 0.7];
+    let miss_energy_mj = population_miss_energy_mj();
+
+    // The degenerate-fabric guarantee, re-proven on every run: a
+    // front-end whose cells hold one device each is indistinguishable
+    // — lane totals, serve stats, and delta bytes — from one with no
+    // fabric at all.
+    {
+        let workload = peer_cell_workload(&world, devices, pool, per_device, skews[0], opts.seed);
+        let solo = population_frontend(&world, devices);
+        solo.serve_batch(&workload.warmup).expect("solo warm-up");
+        solo.serve_batch(&workload.measure).expect("solo measure");
+        let mut degenerate = population_frontend(&world, devices);
+        degenerate
+            .serve_batch(&workload.warmup)
+            .expect("degenerate warm-up");
+        let cells = degenerate.attach_peer_cells(0, 1, PeerConfig::default());
+        degenerate
+            .serve_batch(&workload.measure)
+            .expect("degenerate measure");
+        assert_eq!(cells.len(), devices, "one solo cell per device");
+        assert_eq!(
+            solo.telemetry(),
+            degenerate.telemetry(),
+            "cell size 1 must reproduce solo telemetry bit for bit"
+        );
+    }
+
+    let mut table = Table::new(
+        format!(
+            "Ablation: cooperative peer cells ({devices} devices, {pool}-key private pools, \
+             {per_device} serves/device measured)"
+        ),
+        &[
+            "skew",
+            "bits",
+            "cell",
+            "hit ratio",
+            "peer serves",
+            "fp probes",
+            "radio mJ/user",
+            "peer mJ/user",
+        ],
+    );
+    let mut rows: Vec<PeersRow> = Vec::new();
+    for &skew in &skews {
+        let workload = peer_cell_workload(&world, devices, pool, per_device, skew, opts.seed);
+        let baseline = peers_arm(
+            &world,
+            &workload,
+            devices,
+            1,
+            skew,
+            PeerConfig::default(),
+            miss_energy_mj,
+        );
+        assert_eq!(baseline.fabric.peer_hits, 0, "a solo cell serves nothing");
+        let mut arms = vec![baseline];
+        for &bits in &bits_sweep {
+            for &cell in &cell_sweep {
+                let row = peers_arm(
+                    &world,
+                    &workload,
+                    devices,
+                    cell,
+                    skew,
+                    PeerConfig {
+                        summary_bits: bits,
+                        ..PeerConfig::default()
+                    },
+                    miss_energy_mj,
+                );
+                let base = &arms[0];
+                assert_eq!(row.events, base.events, "identical replay across arms");
+                assert!(
+                    row.hit_ratio() > base.hit_ratio(),
+                    "pooling must lift the aggregate hit ratio (skew {skew}, {bits} bits, \
+                     cell {cell})"
+                );
+                assert!(
+                    row.radio_energy_mj < base.radio_energy_mj,
+                    "pooling must cut per-user radio energy (skew {skew}, {bits} bits, \
+                     cell {cell})"
+                );
+                assert_eq!(
+                    base.misses - row.misses,
+                    row.fabric.peer_hits,
+                    "every avoided radio miss must be a peer serve"
+                );
+                arms.push(row);
+            }
+        }
+        for row in &arms {
+            table.row(&[
+                format!("{:.1}", row.skew),
+                row.bits.to_string(),
+                row.cell.to_string(),
+                format!("{:.4}", row.hit_ratio()),
+                row.fabric.peer_hits.to_string(),
+                row.fabric.false_positives.to_string(),
+                format!("{:.1}", row.radio_energy_mj / devices as f64),
+                format!("{:.2}", row.peer_energy_mj / devices as f64),
+            ]);
+        }
+        rows.extend(arms);
+    }
+    println!("{}", table.render());
+    println!(
+        "Every pooled arm beats its solo baseline on both axes; wider summaries only\n\
+         trim the wasted false-positive probes — correctness never depends on the\n\
+         Bloom width, because a claimed key is verified against the peer's exact set.\n"
+    );
+
+    if let Some(path) = &opts.out {
+        let json = peers_json(opts, devices, pool, per_device, &rows);
+        std::fs::write(path, json).expect("write --out file");
+        println!("wrote {path}\n");
+    }
+}
+
+/// Hand-rolled JSON for the peers sweep (same no-dependency schema
+/// style as [`frontend_json`]). `cell == 1` rows are the solo
+/// baselines the pooled arms of the same skew are asserted against.
+fn peers_json(
+    opts: &Options,
+    devices: usize,
+    pool: usize,
+    per_device: usize,
+    rows: &[PeersRow],
+) -> String {
+    let arms: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"skew\": {:.2},\n      \"summary_bits\": {},\n      \
+                 \"cell_size\": {},\n      \"events\": {},\n      \"hits\": {},\n      \
+                 \"misses\": {},\n      \"hit_ratio\": {:.6},\n      \"peer_hits\": {},\n      \
+                 \"consults\": {},\n      \"false_positives\": {},\n      \
+                 \"radio_bytes\": {},\n      \"peer_bytes\": {},\n      \
+                 \"radio_energy_mj_per_user\": {:.3},\n      \
+                 \"peer_energy_mj_per_user\": {:.3}\n    }}",
+                r.skew,
+                r.bits,
+                r.cell,
+                r.events,
+                r.hits,
+                r.misses,
+                r.hit_ratio(),
+                r.fabric.peer_hits,
+                r.fabric.consults,
+                r.fabric.false_positives,
+                r.radio_bytes,
+                r.peer_bytes,
+                r.radio_energy_mj / devices as f64,
+                r.peer_energy_mj / devices as f64,
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"peers\",\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \
+         \"devices\": {},\n  \"pool_per_device\": {},\n  \"requests_per_device\": {},\n  \
+         \"baseline\": \"cell_size 1 (solo; bit-identical to a fabric-free front-end)\",\n  \
+         \"arms\": [\n{}\n  ]\n}}\n",
+        if opts.full_scale { "full" } else { "test" },
+        opts.seed,
+        devices,
+        pool,
+        per_device,
+        arms.join(",\n")
     )
 }
 

@@ -17,6 +17,6 @@ pub use render::{ascii_chart, Table};
 pub use wallclock::{measure, thread_sweep, Measurement, SweepPoint};
 pub use workloads::{
     fleet_workload, frontend_workload, full_scale_study_inputs, materialized_month_requests,
-    population_requests, population_world, skewed_arbiter_workload, test_scale_study_inputs,
-    PopulationWorld, StudyInputs,
+    peer_cell_workload, population_requests, population_world, skewed_arbiter_workload,
+    test_scale_study_inputs, PeerWorkload, PopulationWorld, StudyInputs,
 };

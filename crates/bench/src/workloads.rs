@@ -253,6 +253,114 @@ pub fn population_requests(batch: &EpochBatch) -> Vec<ServeRequest> {
         .collect()
 }
 
+/// The shared-interest peer-cell workload of the `peers` study: a
+/// warm-up pass that installs each device's private interest pool into
+/// its personalization delta, then a measurement stream in which a
+/// `skew` fraction of every device's requests target *another* device's
+/// pool — the community-locality premise of the cooperative tier. The
+/// stream depends only on `(devices, …, skew, seed)`, never on how the
+/// fabric later groups devices into cells, so every cell-size arm
+/// replays the identical workload.
+#[derive(Debug, Clone)]
+pub struct PeerWorkload {
+    /// One request per (device, private-pool key): the radio misses
+    /// that seed each device's delta before summaries are built.
+    pub warmup: Vec<ServeRequest>,
+    /// The measurement stream (`requests_per_device` per device,
+    /// step-interleaved across devices).
+    pub measure: Vec<ServeRequest>,
+    /// Per-device private pools of non-community keys (device `d`
+    /// holds `pools[d]` after warm-up).
+    pub pools: Vec<Vec<u64>>,
+}
+
+/// Builds a [`PeerWorkload`] over a [`PopulationWorld`].
+///
+/// Keys split three ways per measurement request, drawn
+/// deterministically from `seed`:
+///
+/// * with probability `skew` — a key from a uniformly chosen *other*
+///   device's private pool (servable by a peer iff that device lands in
+///   the requester's cell);
+/// * with probability `(1 − skew)/2` — a community key (a local hit on
+///   every device, the shared-snapshot floor);
+/// * otherwise — a key from a reserved tail pool no device warmed up
+///   (a radio miss in every arm).
+///
+/// # Panics
+///
+/// Panics when the universe's non-community tail is too small to give
+/// every device a disjoint pool plus a miss reserve, or when `skew` is
+/// not a probability.
+pub fn peer_cell_workload(
+    world: &PopulationWorld,
+    devices: usize,
+    pool_per_device: usize,
+    requests_per_device: usize,
+    skew: f64,
+    seed: u64,
+) -> PeerWorkload {
+    assert!(devices >= 2, "shared interest needs at least two devices");
+    assert!((0.0..=1.0).contains(&skew), "skew is a probability");
+    let mut community_keys = Vec::new();
+    let mut tail_keys = Vec::new();
+    for key in 0..world.pairs.len() as u64 {
+        let Some((query_hash, _)) = world.pairs.get(key) else {
+            continue;
+        };
+        if world.community.contains_query(query_hash) {
+            community_keys.push(key);
+        } else {
+            tail_keys.push(key);
+        }
+    }
+    let reserved = devices * pool_per_device;
+    assert!(
+        tail_keys.len() > reserved && !community_keys.is_empty(),
+        "universe too small: {} tail keys for {} pooled",
+        tail_keys.len(),
+        reserved
+    );
+    let pools: Vec<Vec<u64>> = (0..devices)
+        .map(|d| tail_keys[d * pool_per_device..(d + 1) * pool_per_device].to_vec())
+        .collect();
+    let miss_reserve = &tail_keys[reserved..];
+
+    let mut at = 0u64;
+    let mut next_at = || {
+        at += 1_000;
+        SimInstant::from_micros(at)
+    };
+    let mut warmup = Vec::with_capacity(reserved);
+    for (d, pool) in pools.iter().enumerate() {
+        for &key in pool {
+            warmup.push(ServeRequest::new(d as u64, 0, key, next_at()));
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ee2_ce11);
+    let mut measure = Vec::with_capacity(devices * requests_per_device);
+    for _ in 0..requests_per_device {
+        for d in 0..devices as u64 {
+            let roll: f64 = rng.random_range(0.0..1.0);
+            let key = if roll < skew {
+                let other = (d + rng.random_range(1..devices as u64)) % devices as u64;
+                pools[other as usize][rng.random_range(0..pool_per_device)]
+            } else if roll < skew + (1.0 - skew) / 2.0 {
+                community_keys[rng.random_range(0..community_keys.len())]
+            } else {
+                miss_reserve[rng.random_range(0..miss_reserve.len())]
+            };
+            measure.push(ServeRequest::new(d, 0, key, next_at()));
+        }
+    }
+    PeerWorkload {
+        warmup,
+        measure,
+        pools,
+    }
+}
+
 /// The materialized baseline the streamed path is proven against: every
 /// user's next month appended into **one shared buffer** via the public
 /// `append_user_month` form (no per-user `Vec` allocation), sorted into

@@ -26,7 +26,17 @@
 //!         × (1 + rejected / events)                  queue pressure (sheds)
 //!         × (1 + radio_per_unique / fleet_max)       radio spend a bigger
 //!                                                    cache could reclaim
+//!         × (1 + peer_hits / attempted)              peer-serve yield: demand
+//!                                                    the cell is absorbing
 //! ```
+//!
+//! The peer-yield factor is the cooperative tier's demand signal: a
+//! lane whose misses are being absorbed by cell peers
+//! ([`crate::peer::PeerFabric`]) is traffic the *cell* finds valuable,
+//! so its bid for local bytes rises — every peer-served key is one this
+//! lane could hit locally with more capacity. A lane with zero peer
+//! hits multiplies by exactly `1.0`, so fleets without a fabric (or
+//! with solo cells) reproduce the pre-peer utilities bit for bit.
 //!
 //! `UTILITY_EPS` keeps a lane with traffic but no hits (a cold cache)
 //! from reading as worthless — traffic is exactly the signal that bytes
@@ -268,6 +278,9 @@ pub struct DecisionEntry {
     pub local_rate: f64,
     /// Fraction of the lane's events shed with `QueueFull`.
     pub shed_ratio: f64,
+    /// Fraction of attempted requests a cooperative cell peer answered
+    /// — the peer-serve yield that raised this lane's bid.
+    pub peer_rate: f64,
     /// This epoch's raw (pre-EWMA) utility.
     pub raw_utility: f64,
     /// The smoothed utility the priority was derived from.
@@ -328,6 +341,7 @@ struct Signal {
     local_rate: f64,
     shed_ratio: f64,
     radio_per_unique: f64,
+    peer_rate: f64,
 }
 
 impl Signal {
@@ -359,11 +373,17 @@ impl Signal {
         } else {
             t.radio_bytes as f64 / unique as f64
         };
+        let peer_rate = if attempted == 0 {
+            0.0
+        } else {
+            t.peer_hits as f64 / attempted as f64
+        };
         Signal {
             unique_attempted: unique,
             local_rate,
             shed_ratio,
             radio_per_unique,
+            peer_rate,
         }
     }
 
@@ -373,10 +393,13 @@ impl Signal {
         } else {
             0.0
         };
+        // `1.0 + 0.0` is exact, so peer-free lanes reproduce the
+        // pre-peer utility bit for bit.
         self.unique_attempted as f64
             * (UTILITY_EPS + self.local_rate)
             * (1.0 + self.shed_ratio)
             * (1.0 + radio_norm)
+            * (1.0 + self.peer_rate)
     }
 }
 
@@ -393,6 +416,8 @@ fn project_stats(stats: &ServeStats) -> LaneTotals {
         coalesced: 0,
         stolen: 0,
         radio_bytes: stats.radio_bytes,
+        peer_hits: stats.peer_hits,
+        peer_bytes: stats.peer_bytes,
         busy: stats.busy,
     }
 }
@@ -629,11 +654,12 @@ impl AdaptiveArbiter {
                 let grant = granted[&o.cloudlet];
                 let floor = floors[&o.cloudlet];
                 let mut reason = format!(
-                    "utility {:.4} (unique {}, local {:.3}, shed {:.3}) -> priority {:.4}",
+                    "utility {:.4} (unique {}, local {:.3}, shed {:.3}, peer {:.3}) -> priority {:.4}",
                     utilities[i],
                     signals[i].unique_attempted,
                     signals[i].local_rate,
                     signals[i].shed_ratio,
+                    signals[i].peer_rate,
                     demand.priority,
                 );
                 if held {
@@ -651,6 +677,7 @@ impl AdaptiveArbiter {
                     unique_attempted: signals[i].unique_attempted,
                     local_rate: signals[i].local_rate,
                     shed_ratio: signals[i].shed_ratio,
+                    peer_rate: signals[i].peer_rate,
                     raw_utility: raws[i],
                     utility: utilities[i],
                     priority: demand.priority,

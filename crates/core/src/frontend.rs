@@ -54,6 +54,7 @@
 //! as its baseline.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use analysis::sync::OrderedRwLock;
 
@@ -62,7 +63,11 @@ use mobsim::time::{SimDuration, SimInstant};
 use crate::arbiter::{AdaptiveArbiter, BudgetDecision, EpochObservation};
 use crate::coordination::CloudletId;
 use crate::counters::CounterSet;
-use crate::service::{CloudletError, CloudletService, ServeKind, ServeOutcome, ServeStats};
+use crate::peer::{PeerConfig, PeerConsult, PeerFabric};
+use crate::service::ServeRequest as ServiceRequest;
+use crate::service::{
+    CloudletError, CloudletService, ServeKind, ServeOutcome, ServeSource, ServeStats,
+};
 
 /// One request to the front-end: a user asking one service for one key
 /// at a simulated instant.
@@ -98,6 +103,13 @@ impl ServeRequest {
             key,
             at,
         }
+    }
+
+    /// The service-layer request this routing request dispatches as
+    /// once a lane has been picked: the service-group index is the
+    /// front-end's business and is dropped at the waist.
+    fn service_request(&self) -> ServiceRequest {
+        ServiceRequest::for_user(self.user, self.key, self.at)
     }
 }
 
@@ -315,7 +327,7 @@ impl FrontendConfigBuilder {
 /// Monotonic per-lane counters, updated lock-free through the shared
 /// [`CounterSet`] bank (which owns the memory-ordering argument).
 #[derive(Debug, Default)]
-struct FrontCounters(CounterSet<11>);
+struct FrontCounters(CounterSet<13>);
 
 impl FrontCounters {
     const EVENTS: usize = 0;
@@ -329,6 +341,8 @@ impl FrontCounters {
     const STOLEN: usize = 8;
     const RADIO_BYTES: usize = 9;
     const BUSY_MICROS: usize = 10;
+    const PEER_HITS: usize = 11;
+    const PEER_BYTES: usize = 12;
 
     fn record_outcome(&self, outcome: &ServeOutcome, coalesced: bool, stolen: bool) {
         self.0.bump(Self::EVENTS, 1);
@@ -339,11 +353,17 @@ impl FrontCounters {
             ServeKind::Skipped => Self::SKIPPED,
         };
         self.0.bump(bucket, 1);
+        // Followers count with their leader's outcome (like hits), but
+        // the peer link only carried the leader's bytes.
+        if outcome.source == ServeSource::Peer {
+            self.0.bump(Self::PEER_HITS, 1);
+        }
         if coalesced {
             self.0.bump(Self::COALESCED, 1);
         } else {
             // Followers ride the leader's serve: no radio, no busy time.
             self.0.bump(Self::RADIO_BYTES, outcome.radio_bytes);
+            self.0.bump(Self::PEER_BYTES, outcome.peer_bytes);
             self.0.bump(Self::BUSY_MICROS, outcome.service.as_micros());
         }
         if stolen {
@@ -372,6 +392,8 @@ impl FrontCounters {
             coalesced: self.0.peek(Self::COALESCED),
             stolen: self.0.peek(Self::STOLEN),
             radio_bytes: self.0.peek(Self::RADIO_BYTES),
+            peer_hits: self.0.peek(Self::PEER_HITS),
+            peer_bytes: self.0.peek(Self::PEER_BYTES),
             busy: SimDuration::from_micros(self.0.peek(Self::BUSY_MICROS)),
         }
     }
@@ -401,6 +423,12 @@ pub struct LaneTotals {
     pub stolen: u64,
     /// Radio bytes of underlying serves (followers charge nothing).
     pub radio_bytes: u64,
+    /// Requests answered by a cell peer instead of the radio
+    /// ([`ServeSource::Peer`]) — a subset of `hits`.
+    pub peer_hits: u64,
+    /// Peer-link bytes of underlying serves: fetched records plus
+    /// wasted false-positive probes (followers charge nothing).
+    pub peer_bytes: u64,
     /// Summed simulated service time of underlying serves.
     pub busy: SimDuration,
 }
@@ -433,6 +461,8 @@ impl LaneTotals {
             coalesced: self.coalesced.saturating_sub(earlier.coalesced),
             stolen: self.stolen.saturating_sub(earlier.stolen),
             radio_bytes: self.radio_bytes.saturating_sub(earlier.radio_bytes),
+            peer_hits: self.peer_hits.saturating_sub(earlier.peer_hits),
+            peer_bytes: self.peer_bytes.saturating_sub(earlier.peer_bytes),
             busy: self.busy.saturating_sub(earlier.busy),
         }
     }
@@ -448,6 +478,8 @@ impl LaneTotals {
         self.coalesced += other.coalesced;
         self.stolen += other.stolen;
         self.radio_bytes += other.radio_bytes;
+        self.peer_hits += other.peer_hits;
+        self.peer_bytes += other.peer_bytes;
         self.busy += other.busy;
     }
 }
@@ -552,6 +584,18 @@ impl FrontendReport {
     /// Radio bytes across underlying serves.
     pub fn radio_bytes(&self) -> u64 {
         self.lanes.iter().map(|l| l.radio_bytes).sum()
+    }
+
+    /// Requests a cell peer answered instead of the radio (a subset of
+    /// [`FrontendReport::hits`]).
+    pub fn peer_hits(&self) -> u64 {
+        self.lanes.iter().map(|l| l.peer_hits).sum()
+    }
+
+    /// Peer-link bytes across underlying serves (fetches plus wasted
+    /// false-positive probes).
+    pub fn peer_bytes(&self) -> u64 {
+        self.lanes.iter().map(|l| l.peer_bytes).sum()
     }
 
     /// Requests that actually completed (everything but rejections and
@@ -710,6 +754,14 @@ struct CoalesceEntry {
     completion: SimInstant,
 }
 
+/// One lane's membership in a cooperative peer cell: which fabric it
+/// gossips its summary to, and the device id it registered under.
+#[derive(Debug, Clone)]
+struct PeerLink {
+    fabric: Arc<PeerFabric>,
+    device: u64,
+}
+
 /// The pipelined serving front-end. See the module docs for the model.
 ///
 /// The front-end is `Sync`: [`Frontend::serve_one`] and
@@ -724,6 +776,9 @@ pub struct Frontend {
     /// `groups[service]` lists the global lane indices of that service.
     groups: Vec<Vec<usize>>,
     lanes: Vec<FrontLane>,
+    /// `peers[lane]` is the lane's cell membership, when
+    /// [`Frontend::attach_peer_cells`] wired one up.
+    peers: Vec<Option<PeerLink>>,
 }
 
 impl Frontend {
@@ -753,10 +808,68 @@ impl Frontend {
             }
             lane_groups.push(indices);
         }
+        let peers = vec![None; lanes.len()];
         Frontend {
             config,
             groups: lane_groups,
             lanes,
+            peers,
+        }
+    }
+
+    /// Wires one service group's lanes into cooperative peer cells of
+    /// `cell_size` contiguous lanes each (the last cell may be
+    /// smaller), registering every lane's
+    /// [`CloudletService::summary_keys`] inventory under its global
+    /// lane index as the device id. From then on a local miss consults
+    /// the cell before the radio (see [`Frontend::execute`]'s miss
+    /// path); re-wiring a group replaces its previous cells.
+    ///
+    /// `cell_size == 1` degenerates to solo cells: the only member of
+    /// each fabric is its own requester, so every consult falls through
+    /// untouched and the no-fabric telemetry is reproduced bit for bit.
+    ///
+    /// Returns the cells for telemetry ([`PeerFabric::telemetry`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the service group does not exist or `cell_size` is
+    /// zero.
+    pub fn attach_peer_cells(
+        &mut self,
+        service: u32,
+        cell_size: usize,
+        config: PeerConfig,
+    ) -> Vec<Arc<PeerFabric>> {
+        assert!(cell_size > 0, "a peer cell needs at least one device");
+        let group = self.groups[service as usize].clone();
+        let mut cells = Vec::new();
+        for chunk in group.chunks(cell_size) {
+            let fabric = Arc::new(PeerFabric::new(config));
+            for &lane in chunk {
+                let keys = self.lanes[lane].service.read().summary_keys();
+                fabric.register(lane as u64, &keys);
+                self.peers[lane] = Some(PeerLink {
+                    fabric: Arc::clone(&fabric),
+                    device: lane as u64,
+                });
+            }
+            cells.push(fabric);
+        }
+        cells
+    }
+
+    /// Republishes every cell-attached lane's summary from its current
+    /// [`CloudletService::summary_keys`] inventory — the epoch-grained
+    /// refresh that keeps summaries tracking personalization churn.
+    /// Each lane's read guard is dropped before its fabric registers,
+    /// keeping the lane-then-fabric lock order trivially rank-legal.
+    pub fn refresh_peer_summaries(&self) {
+        for (lane, link) in self.peers.iter().enumerate() {
+            if let Some(link) = link {
+                let keys = self.lanes[lane].service.read().summary_keys();
+                link.fabric.register(link.device, &keys);
+            }
         }
     }
 
@@ -883,15 +996,21 @@ impl Frontend {
     /// Serves the request on `lane`, trying the shared-read fast path
     /// first when configured. Returns the outcome and whether the fast
     /// path answered.
+    ///
+    /// When the lane belongs to a peer cell, a local radio miss first
+    /// consults the cell *after* the lane guard is dropped: a peer hit
+    /// replaces the miss outright; a fruitless consult charges its
+    /// wasted false-positive probes onto the radio outcome.
     fn execute(
         &self,
         lane: usize,
         request: &ServeRequest,
     ) -> (Result<ServeOutcome, CloudletError>, bool) {
+        let service_request = request.service_request();
         if self.config.hit_path == HitPathMode::SharedRead {
             let fast = {
                 let service = self.lanes[lane].service.read();
-                service.try_serve_hit_user(request.user, request.key, request.at)
+                service.try_serve_hit(&service_request)
             };
             if let Some(outcome) = fast {
                 return (Ok(outcome), true);
@@ -899,9 +1018,45 @@ impl Frontend {
         }
         let result = {
             let mut service = self.lanes[lane].service.write();
-            service.serve_user(request.user, request.key, request.at)
+            service.serve(&service_request)
         };
-        (result, false)
+        (self.consult_peers(lane, request.key, result), false)
+    }
+
+    /// The cooperative middle tier: folds a cell consult into a local
+    /// radio-miss outcome. Non-misses, error results, and lanes outside
+    /// any cell pass through untouched.
+    fn consult_peers(
+        &self,
+        lane: usize,
+        key: u64,
+        result: Result<ServeOutcome, CloudletError>,
+    ) -> Result<ServeOutcome, CloudletError> {
+        let Some(link) = &self.peers[lane] else {
+            return result;
+        };
+        let Ok(outcome) = result else {
+            return result;
+        };
+        if outcome.kind != ServeKind::Miss {
+            return Ok(outcome);
+        }
+        match link.fabric.consult(link.device, key) {
+            PeerConsult::Hit {
+                outcome: peer_outcome,
+                ..
+            } => Ok(peer_outcome.with_flags(outcome.flags)),
+            PeerConsult::Miss {
+                wasted,
+                wasted_bytes,
+                ..
+            } => {
+                let mut outcome = outcome;
+                outcome.service += wasted;
+                outcome.peer_bytes += wasted_bytes;
+                Ok(outcome)
+            }
+        }
     }
 
     /// Serves one request immediately (no queue model — admission and
@@ -1014,7 +1169,7 @@ impl Frontend {
             if self.config.hit_path == HitPathMode::SharedRead {
                 let fast = {
                     let service = self.lanes[home].service.read();
-                    service.try_serve_hit_user(request.user, request.key, request.at)
+                    service.try_serve_hit(&request.service_request())
                 };
                 if let Some(outcome) = fast {
                     let worker = read_pool
@@ -1185,10 +1340,14 @@ fn record_lane(
                 ServeKind::Miss => lane.misses += 1,
                 ServeKind::Skipped => lane.skipped += 1,
             }
+            if outcome.source == ServeSource::Peer {
+                lane.peer_hits += 1;
+            }
             if coalesced {
                 lane.coalesced += 1;
             } else {
                 lane.radio_bytes += outcome.radio_bytes;
+                lane.peer_bytes += outcome.peer_bytes;
                 lane.busy += outcome.service;
             }
             if stolen {
@@ -1251,17 +1410,17 @@ mod tests {
             "toy"
         }
 
-        fn serve(&mut self, key: u64, _now: SimInstant) -> Result<ServeOutcome, CloudletError> {
-            if key == 7 {
-                return Err(CloudletError::UnknownKey { key });
+        fn serve(&mut self, request: &ServiceRequest) -> Result<ServeOutcome, CloudletError> {
+            if request.key == 7 {
+                return Err(CloudletError::UnknownKey { key: request.key });
             }
-            let outcome = self.outcome(key);
+            let outcome = self.outcome(request.key);
             self.stats.record(&outcome);
             Ok(outcome)
         }
 
-        fn try_serve_hit(&self, key: u64, _now: SimInstant) -> Option<ServeOutcome> {
-            (key != 7 && key < self.cached_below).then(|| self.outcome(key))
+        fn try_serve_hit(&self, request: &ServiceRequest) -> Option<ServeOutcome> {
+            (request.key != 7 && request.key < self.cached_below).then(|| self.outcome(request.key))
         }
 
         fn service_stats(&self) -> ServeStats {
@@ -1270,6 +1429,10 @@ mod tests {
 
         fn cache_bytes(&self) -> u64 {
             1024
+        }
+
+        fn summary_keys(&self) -> Vec<u64> {
+            (0..self.cached_below).collect()
         }
     }
 
@@ -1584,5 +1747,76 @@ mod tests {
         // Same instant again: the boundary has advanced, nothing fires.
         assert_eq!(fe.arbitrate(&mut arbiter, now), None);
         assert_eq!(arbiter.decisions().len(), 1);
+    }
+
+    /// Two user-routed lanes with different inventories: lane 1 caches
+    /// nothing, lane 0 caches keys 0..100.
+    fn peer_frontend() -> Frontend {
+        let config = FrontendConfig::builder()
+            .route_by(RouteBy::User)
+            .coalescing(false)
+            .build();
+        Frontend::new(vec![vec![ToyLane::boxed(100), ToyLane::boxed(0)]], config)
+    }
+
+    #[test]
+    fn local_miss_is_served_by_a_cell_peer_before_the_radio() {
+        let mut fe = peer_frontend();
+        let cells = fe.attach_peer_cells(0, 2, PeerConfig::default());
+        assert_eq!(cells.len(), 1);
+        // User 1 homes on lane 1 (caches nothing) and asks for key 5,
+        // which lane 0 advertises.
+        let served = fe
+            .serve_one(ServeRequest::new(1, 0, 5, SimInstant::ZERO))
+            .expect("peer serve");
+        let outcome = served.outcome.expect("served");
+        assert_eq!(outcome.kind, ServeKind::Hit);
+        assert_eq!(outcome.source, ServeSource::Peer);
+        assert_eq!(outcome.radio_bytes, 0, "the radio never woke");
+        assert!(outcome.peer_bytes > 0);
+        let totals = fe.telemetry().aggregate();
+        assert_eq!((totals.hits, totals.peer_hits, totals.misses), (1, 1, 0));
+        assert_eq!(totals.peer_bytes, outcome.peer_bytes);
+        assert_eq!(cells[0].telemetry().peer_hits, 1);
+        // A key nobody caches still falls back to the radio.
+        let fallback = fe
+            .serve_one(ServeRequest::new(1, 0, 777, SimInstant::ZERO))
+            .expect("radio serve");
+        let outcome = fallback.outcome.expect("served");
+        assert_eq!(outcome.kind, ServeKind::Miss);
+        assert_eq!(outcome.source, ServeSource::Radio);
+        assert_eq!(cells[0].telemetry().radio_fallbacks, 1);
+    }
+
+    #[test]
+    fn solo_cells_reproduce_the_unwired_telemetry_exactly() {
+        let requests: Vec<ServeRequest> = (0..40)
+            .map(|i| ServeRequest::new(i % 4, 0, i * 37 % 260, SimInstant::ZERO))
+            .collect();
+        let bare = peer_frontend();
+        let mut solo = peer_frontend();
+        solo.attach_peer_cells(0, 1, PeerConfig::default());
+        let bare_batch = bare.serve_batch(&requests).expect("bare batch");
+        let solo_batch = solo.serve_batch(&requests).expect("solo batch");
+        assert_eq!(bare_batch, solo_batch, "cell size 1 must change nothing");
+        assert_eq!(
+            bare.telemetry().lane_totals(),
+            solo.telemetry().lane_totals()
+        );
+        assert_eq!(solo_batch.report.peer_hits(), 0);
+        assert_eq!(solo_batch.report.peer_bytes(), 0);
+    }
+
+    #[test]
+    fn refreshed_summaries_track_the_lane_inventory() {
+        let mut fe = peer_frontend();
+        let cells = fe.attach_peer_cells(0, 2, PeerConfig::default());
+        fe.refresh_peer_summaries();
+        // Registration is idempotent: still one cell of two devices.
+        assert_eq!(cells[0].member_count(), 2);
+        let served = fe
+            .serve_one(ServeRequest::new(1, 0, 5, SimInstant::ZERO))
+            .expect("peer serve");
+        assert_eq!(served.outcome.expect("served").source, ServeSource::Peer);
     }
 }

@@ -28,8 +28,15 @@
 //!   signals, smooths them, and periodically re-derives the budget
 //!   split, logging every [`arbiter::BudgetDecision`].
 //! * [`service`] — the unified serving waist of §7: the
-//!   [`CloudletService`] trait, the shared [`ServeOutcome`]/[`ServeStats`]
-//!   taxonomy, and the workspace-level [`CloudletError`].
+//!   [`CloudletService`] trait with its two-method
+//!   `serve`/`try_serve_hit` surface over [`service::ServeRequest`],
+//!   the shared [`ServeOutcome`]/[`ServeStats`] taxonomy (what
+//!   happened × who answered × condition flags), and the
+//!   workspace-level [`CloudletError`].
+//! * [`peer`] — the cooperative cloudlet tier between local-miss and
+//!   the radio: a per-cell [`peer::PeerFabric`] of lock-free-readable
+//!   Bloom summaries over each device's cached keys, with modeled
+//!   WiFi-direct fetch latency/energy.
 //! * [`frontend`] — the pipelined serving front-end: bounded per-lane
 //!   queues with typed admission/backpressure, duplicate-key
 //!   coalescing, a shared-lock read path for hits, and work stealing
@@ -89,6 +96,7 @@ pub mod error;
 pub mod frontend;
 pub mod hashtable;
 pub mod lockrank;
+pub mod peer;
 pub mod population;
 pub mod ranking;
 pub mod service;
@@ -109,9 +117,16 @@ pub use frontend::{
 };
 pub use hashtable::atomic::{AtomicTable, AtomicTableStats};
 pub use hashtable::{QueryHashTable, ScoredResult, SLOTS_PER_ENTRY};
+pub use peer::{BloomSummary, PeerConfig, PeerConsult, PeerFabric, PeerFabricStats};
 pub use population::{PairTable, PopulationConfig, PopulationLane, PopulationResidency};
 pub use ranking::RankingPolicy;
-pub use service::{CloudletError, CloudletService, ServeKind, ServeOutcome, ServeStats};
+// `service::ServeRequest` is deliberately not re-exported here: the
+// root `ServeRequest` stays the front-end's *routing* request (which
+// also carries the service-group index); the service-layer request is
+// reached as `service::ServeRequest`.
+pub use service::{
+    CloudletError, CloudletService, ServeKind, ServeOutcome, ServeSource, ServeStats,
+};
 pub use shard::{ShardWriteGuard, ShardedTable};
 pub use snapshot::SnapshotCell;
 pub use update::{UpdateBundle, UpdateServer};

@@ -27,11 +27,11 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use mobsim::time::{SimDuration, SimInstant};
+use mobsim::time::SimDuration;
 
 use crate::cache::{CacheMode, CommunityCache, PersonalDelta};
 use crate::hashtable::atomic::AtomicTable;
-use crate::service::{CloudletError, CloudletService, ServeOutcome, ServeStats};
+use crate::service::{CloudletError, CloudletService, ServeOutcome, ServeRequest, ServeStats};
 
 /// Accounting bytes per pair-table row: two 64-bit hashes.
 const PAIR_ROW_BYTES: usize = 16;
@@ -213,18 +213,13 @@ impl CloudletService for PopulationLane {
         "population"
     }
 
-    /// Anonymous serves attribute to user 0; the front-end always calls
-    /// [`CloudletService::serve_user`].
-    fn serve(&mut self, key: u64, now: SimInstant) -> Result<ServeOutcome, CloudletError> {
-        self.serve_user(0, key, now)
-    }
-
-    fn serve_user(
-        &mut self,
-        user: u64,
-        key: u64,
-        _now: SimInstant,
-    ) -> Result<ServeOutcome, CloudletError> {
+    /// Serves one clicked event: answer from the requesting user's
+    /// delta-then-community view, then fold the click into their delta.
+    /// Anonymous requests ([`ServeRequest::user`] `None`) attribute to
+    /// user 0.
+    fn serve(&mut self, request: &ServeRequest) -> Result<ServeOutcome, CloudletError> {
+        let key = request.key;
+        let user = request.user_or_default();
         let (query_hash, result_hash) = self
             .pairs
             .get(key)
@@ -250,27 +245,47 @@ impl CloudletService for PopulationLane {
         Ok(outcome)
     }
 
-    /// Anonymous form of the fast path below (the community probe is
-    /// user-independent).
-    fn try_serve_hit(&self, key: u64, now: SimInstant) -> Option<ServeOutcome> {
-        self.try_serve_hit_user(0, key, now)
-    }
-
     /// Lock-free community fast path: in community-only mode a serve
     /// has no side effects beyond statistics (which the fast-path
     /// caller records), so a hit can be answered from the shared
-    /// [`AtomicTable`] mirror without exclusive access. In any
-    /// personalization mode every serve must fold the click into the
-    /// user's delta, so the fast path declines and the write path runs.
-    /// Misses also decline: the miss click may materialize a delta.
-    fn try_serve_hit_user(&self, _user: u64, key: u64, _now: SimInstant) -> Option<ServeOutcome> {
+    /// [`AtomicTable`] mirror without exclusive access — the community
+    /// probe is user-independent. In any personalization mode every
+    /// serve must fold the click into the user's delta, so the fast
+    /// path declines and the write path runs. Misses also decline: the
+    /// miss click may materialize a delta.
+    fn try_serve_hit(&self, request: &ServeRequest) -> Option<ServeOutcome> {
         if self.config.mode != CacheMode::CommunityOnly {
             return None;
         }
-        let (query_hash, _) = self.pairs.get(key)?;
+        let (query_hash, _) = self.pairs.get(request.key)?;
         self.index
             .contains_query(query_hash)
             .then(|| ServeOutcome::hit().with_service(self.config.hit_service))
+    }
+
+    /// What this device can offer the cooperative peer tier: keys its
+    /// personalization deltas answer *beyond* the community snapshot.
+    /// Community-held keys are deliberately excluded — every lane
+    /// shares the same `Arc`'d snapshot, so a cellmate's local miss can
+    /// never be a community key; advertising them would only load the
+    /// Bloom summary. A full-table scan, meant for epoch-grained
+    /// summary refreshes, not per-request calls.
+    fn summary_keys(&self) -> Vec<u64> {
+        if !self.config.mode.personalization_enabled() || self.deltas.is_empty() {
+            return Vec::new();
+        }
+        let community_on = self.config.mode.community_enabled();
+        (0..self.pairs.len() as u64)
+            .filter(|&key| {
+                let Some((query_hash, _)) = self.pairs.get(key) else {
+                    return false;
+                };
+                if community_on && self.index.contains_query(query_hash) {
+                    return false;
+                }
+                self.deltas.values().any(|d| d.contains_query(query_hash))
+            })
+            .collect()
     }
 
     fn service_stats(&self) -> ServeStats {
@@ -290,6 +305,11 @@ mod tests {
     use super::*;
     use crate::ranking::RankingPolicy;
     use crate::service::ServeKind;
+    use mobsim::time::SimInstant;
+
+    fn at(user: u64, key: u64) -> ServeRequest {
+        ServeRequest::for_user(user, key, SimInstant::ZERO)
+    }
 
     fn world() -> (Arc<CommunityCache>, Arc<PairTable>) {
         let mut community = CommunityCache::new(RankingPolicy::default());
@@ -305,22 +325,16 @@ mod tests {
     fn community_hits_and_radio_misses() {
         let (community, pairs) = world();
         let mut lane = PopulationLane::new(PopulationConfig::default(), community, pairs);
-        let hit = lane.serve_user(1, 0, SimInstant::ZERO).unwrap();
+        let hit = lane.serve(&at(1, 0)).unwrap();
         assert_eq!(hit.kind, ServeKind::Hit);
         // Pair 3's query 300 is not in the community: radio miss...
-        let miss = lane.serve_user(1, 3, SimInstant::ZERO).unwrap();
+        let miss = lane.serve(&at(1, 3)).unwrap();
         assert_eq!(miss.kind, ServeKind::Miss);
         assert_eq!(miss.radio_bytes, 4_096);
         // ...but the click folded into user 1's delta, so it hits next.
-        assert_eq!(
-            lane.serve_user(1, 3, SimInstant::ZERO).unwrap().kind,
-            ServeKind::Hit
-        );
+        assert_eq!(lane.serve(&at(1, 3)).unwrap().kind, ServeKind::Hit);
         // A different user still misses: deltas are per user.
-        assert_eq!(
-            lane.serve_user(2, 3, SimInstant::ZERO).unwrap().kind,
-            ServeKind::Miss
-        );
+        assert_eq!(lane.serve(&at(2, 3)).unwrap().kind, ServeKind::Miss);
         let s = lane.service_stats();
         assert_eq!((s.hits, s.misses), (2, 2));
     }
@@ -330,7 +344,7 @@ mod tests {
         let (community, pairs) = world();
         let mut lane = PopulationLane::new(PopulationConfig::default(), community, pairs);
         assert!(matches!(
-            lane.serve_user(1, 99, SimInstant::ZERO),
+            lane.serve(&at(1, 99)),
             Err(CloudletError::UnknownKey { .. })
         ));
     }
@@ -342,7 +356,7 @@ mod tests {
         // 100 serves by 4 users over the same pairs.
         for i in 0..100u64 {
             let user = i % 4;
-            lane.serve_user(user, i % 3, SimInstant::ZERO).unwrap();
+            lane.serve(&at(user, i % 3)).unwrap();
         }
         let r = lane.residency();
         assert_eq!(r.users, 4);
@@ -362,15 +376,12 @@ mod tests {
         };
         let mut lane = PopulationLane::new(config, community, pairs);
         for key in [0u64, 3, 3, 3] {
-            lane.serve_user(1, key, SimInstant::ZERO).unwrap();
+            lane.serve(&at(1, key)).unwrap();
         }
         assert_eq!(lane.residency().users, 0);
         assert_eq!(lane.cache_bytes(), 0);
         // Query 300 never starts hitting: no personalization.
-        assert_eq!(
-            lane.serve_user(1, 3, SimInstant::ZERO).unwrap().kind,
-            ServeKind::Miss
-        );
+        assert_eq!(lane.serve(&at(1, 3)).unwrap().kind, ServeKind::Miss);
     }
 
     #[test]
@@ -383,18 +394,19 @@ mod tests {
         let mut lane = PopulationLane::new(config, community.clone(), pairs.clone());
         // A community hit is answered lock-free with the exact outcome
         // the write path would produce.
-        let fast = lane
-            .try_serve_hit_user(1, 0, SimInstant::ZERO)
-            .expect("community hit");
-        let slow = lane.serve_user(1, 0, SimInstant::ZERO).unwrap();
+        let fast = lane.try_serve_hit(&at(1, 0)).expect("community hit");
+        let slow = lane.serve(&at(1, 0)).unwrap();
         assert_eq!(fast, slow);
-        assert_eq!(lane.try_serve_hit(0, SimInstant::ZERO), Some(fast));
+        assert_eq!(
+            lane.try_serve_hit(&ServeRequest::new(0, SimInstant::ZERO)),
+            Some(fast)
+        );
         // Misses and unknown keys decline to the write path.
-        assert_eq!(lane.try_serve_hit_user(1, 3, SimInstant::ZERO), None);
-        assert_eq!(lane.try_serve_hit_user(1, 99, SimInstant::ZERO), None);
+        assert_eq!(lane.try_serve_hit(&at(1, 3)), None);
+        assert_eq!(lane.try_serve_hit(&at(1, 99)), None);
         // Personalization modes always decline: the click must fold.
         let full = PopulationLane::new(PopulationConfig::default(), community, pairs);
-        assert_eq!(full.try_serve_hit_user(1, 0, SimInstant::ZERO), None);
+        assert_eq!(full.try_serve_hit(&at(1, 0)), None);
     }
 
     #[test]

@@ -10,15 +10,22 @@
 //! This module is the common waist:
 //!
 //! * [`CloudletService`] — one object-safe trait every cloudlet serves
-//!   through: `serve(key, now)` answers a single keyed request in
+//!   through: `serve(&ServeRequest)` answers a single keyed request in
 //!   simulated time, and the capacity hooks (`cache_bytes`,
 //!   `capacity_bytes`, `budget_demand`) let the §7 budget arbiter
 //!   inspect heterogeneous cloudlets uniformly.
-//! * [`ServeOutcome`] / [`ServeKind`] — the outcome taxonomy that
-//!   subsumes the per-crate vocabularies: a search hit, a web page's
-//!   stale refetch, a map viewport miss, and a skipped ad consultation
-//!   all project onto `{Hit, StaleHit, Miss, Skipped}` plus radio bytes
-//!   and simulated service time.
+//! * [`ServeRequest`] — the one request shape both serve paths take:
+//!   `{ user: Option<u64>, key, now }`. It replaced the four-method
+//!   `serve`/`serve_user`/`try_serve_hit`/`try_serve_hit_user` spread;
+//!   the `_user` forms survive one PR as `#[deprecated]` forwarding
+//!   shims.
+//! * [`ServeOutcome`] / [`ServeKind`] / [`ServeSource`] / [`ServeFlags`]
+//!   — the outcome taxonomy that subsumes the per-crate vocabularies:
+//!   *what* happened (`{Hit, StaleHit, Miss, Skipped}`), *who* answered
+//!   (`{Local, Peer, Radio}` — the cooperative peer tier of
+//!   [`crate::peer`] sits between the local cache and the radio), and
+//!   orthogonal condition bits (degraded-to-radio after damage) that
+//!   compose without flag combinatorics.
 //! * [`ServeStats`] — monotone counters accumulated from outcomes,
 //!   replacing the four divergent stats structs for anything that needs
 //!   to compare or aggregate across cloudlets.
@@ -33,6 +40,12 @@
 //! packed tile coordinate for maps. The router layer in `pocketsearch::
 //! fleet` routes `(service, key)` pairs onto `dyn CloudletService`
 //! lanes without knowing which cloudlet is behind each lane.
+//!
+//! (Note: [`crate::frontend`] has its own routing `ServeRequest` that
+//! additionally carries the service-group index; it converts to this
+//! module's request at the lane boundary. This module's struct is
+//! deliberately *not* re-exported at the crate root to keep the two
+//! distinct.)
 
 use mobsim::time::{SimDuration, SimInstant};
 use serde::{Deserialize, Serialize};
@@ -41,15 +54,63 @@ use crate::arbiter::DemandContext;
 use crate::coordination::{BudgetDemand, CloudletId};
 use crate::error::CoreError;
 
+/// One keyed request through the unified serve surface.
+///
+/// Both trait methods take this by reference: the exclusive
+/// [`CloudletService::serve`] path and the read-only
+/// [`CloudletService::try_serve_hit`] fast path. `user` is optional
+/// because most cloudlets hold one device's state and never look at it;
+/// population-scale lanes ([`crate::population`]) use it to pick whose
+/// personalization delta a request reads and whose click folds in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ServeRequest {
+    /// The requesting user, when the caller knows one. `None` means
+    /// "anonymous / single-user device"; user-aware cloudlets treat it
+    /// as user 0, matching the old keyless `serve(key, now)` surface.
+    pub user: Option<u64>,
+    /// The service-defined key (query hash, page index, tile coord…).
+    pub key: u64,
+    /// Simulated instant the request arrives.
+    pub now: SimInstant,
+}
+
+impl ServeRequest {
+    /// An anonymous request (no user identity attached).
+    pub fn new(key: u64, now: SimInstant) -> Self {
+        ServeRequest {
+            user: None,
+            key,
+            now,
+        }
+    }
+
+    /// A request on behalf of a known user.
+    pub fn for_user(user: u64, key: u64, now: SimInstant) -> Self {
+        ServeRequest {
+            user: Some(user),
+            key,
+            now,
+        }
+    }
+
+    /// The user identity, defaulting anonymous requests to user 0 —
+    /// exactly what the deprecated `serve(key, now)` surface did when it
+    /// forwarded to `serve_user(0, …)`.
+    pub fn user_or_default(&self) -> u64 {
+        self.user.unwrap_or(0)
+    }
+}
+
 /// How a single request was answered, in the shared taxonomy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ServeKind {
-    /// Served entirely from the cloudlet's local state.
+    /// Served before the radio woke (locally, or by a cooperative
+    /// peer — see [`ServeOutcome::source`] for who answered).
     Hit,
     /// Served locally but the content was stale, so a background
     /// refetch was charged (pocketweb's `StaleRefetch`).
     StaleHit,
-    /// Not servable locally; the radio had to fetch it.
+    /// Not servable before the radio; the radio had to fetch it.
     Miss,
     /// The cloudlet declined to answer (an ad consultation on a search
     /// miss: once the radio must wake anyway, the ad cache is not
@@ -57,74 +118,133 @@ pub enum ServeKind {
     Skipped,
 }
 
+/// Who produced the answer — the three-tier serve path.
+///
+/// The old taxonomy could only say *what* happened (`ServeKind`); with
+/// the cooperative peer tier ([`crate::peer`]) two different parties can
+/// produce a `Hit`, so outcomes now carry the source explicitly:
+/// local cache → peer device over WiFi-direct → radio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServeSource {
+    /// This device's own cloudlet state answered (also used for
+    /// `Skipped`, where nothing was fetched at all).
+    Local,
+    /// A nearby device's cloudlet answered over the WiFi-direct peer
+    /// fabric; `peer_bytes` carries the transfer.
+    Peer,
+    /// The radio fetched the answer from the cloud; `radio_bytes`
+    /// carries the transfer.
+    Radio,
+}
+
+/// Orthogonal condition bits on a [`ServeOutcome`].
+///
+/// These replace the old boolean fields: conditions like
+/// "degraded-to-radio after detecting damaged flash" compose with any
+/// `(kind, source)` pair instead of multiplying the enum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ServeFlags(u8);
+
+impl ServeFlags {
+    /// No condition bits set.
+    pub const NONE: ServeFlags = ServeFlags(0);
+    /// Local state was found damaged while answering (e.g. a corrupt
+    /// flash record) and the cloudlet degraded gracefully to another
+    /// source instead of failing the request — the §5.4 path.
+    pub const DEGRADED: ServeFlags = ServeFlags(1);
+    /// The damaged state was repaired as part of answering (re-fetched
+    /// onto fresh blocks), so the next identical request will hit.
+    pub const RECOVERED: ServeFlags = ServeFlags(1 << 1);
+
+    /// Whether every bit in `other` is set in `self`.
+    pub const fn contains(self, other: ServeFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// The union of both flag sets.
+    #[must_use]
+    pub const fn with(self, other: ServeFlags) -> ServeFlags {
+        ServeFlags(self.0 | other.0)
+    }
+
+    /// Whether no bits are set.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
 /// The outcome of serving one keyed request through a
 /// [`CloudletService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServeOutcome {
-    /// How the request was answered.
+    /// What happened to the request.
     pub kind: ServeKind,
-    /// Radio bytes the answer cost (0 for a pure local hit).
+    /// Who answered it (the three-tier path: local / peer / radio).
+    pub source: ServeSource,
+    /// Orthogonal condition bits (degradation, recovery).
+    pub flags: ServeFlags,
+    /// Radio bytes the answer cost (0 unless the radio woke).
     pub radio_bytes: u64,
+    /// WiFi-direct peer-link bytes (0 unless a peer answered).
+    pub peer_bytes: u64,
     /// Simulated device time spent serving it (zero for cloudlets
     /// whose model does not charge serve time).
     pub service: SimDuration,
-    /// Whether local state was found damaged while answering (e.g. a
-    /// corrupt flash record) and the cloudlet degraded gracefully to the
-    /// radio instead of failing the request.
-    pub recovered: bool,
 }
 
 impl ServeOutcome {
+    const fn base(kind: ServeKind, source: ServeSource) -> Self {
+        ServeOutcome {
+            kind,
+            source,
+            flags: ServeFlags::NONE,
+            radio_bytes: 0,
+            peer_bytes: 0,
+            service: SimDuration::ZERO,
+        }
+    }
+
     /// A pure local hit: no radio traffic.
     pub fn hit() -> Self {
+        Self::base(ServeKind::Hit, ServeSource::Local)
+    }
+
+    /// A hit answered by a cooperative peer over the WiFi-direct
+    /// fabric: `peer_bytes` crossed the peer link, the radio slept.
+    pub fn peer_hit(peer_bytes: u64) -> Self {
         ServeOutcome {
-            kind: ServeKind::Hit,
-            radio_bytes: 0,
-            service: SimDuration::ZERO,
-            recovered: false,
+            peer_bytes,
+            ..Self::base(ServeKind::Hit, ServeSource::Peer)
         }
     }
 
     /// A local answer that triggered a `radio_bytes` freshness refetch.
     pub fn stale_hit(radio_bytes: u64) -> Self {
         ServeOutcome {
-            kind: ServeKind::StaleHit,
             radio_bytes,
-            service: SimDuration::ZERO,
-            recovered: false,
+            ..Self::base(ServeKind::StaleHit, ServeSource::Local)
         }
     }
 
     /// A miss that cost `radio_bytes` over the radio.
     pub fn miss(radio_bytes: u64) -> Self {
         ServeOutcome {
-            kind: ServeKind::Miss,
             radio_bytes,
-            service: SimDuration::ZERO,
-            recovered: false,
+            ..Self::base(ServeKind::Miss, ServeSource::Radio)
         }
     }
 
     /// A miss forced by damaged local state: the answer *should* have
     /// been a hit, but corruption was detected and the radio answered
-    /// instead — the §5.4 graceful-degradation path.
+    /// instead — the §5.4 graceful-degradation path
+    /// ([`ServeFlags::DEGRADED`]).
     pub fn recovered_miss(radio_bytes: u64) -> Self {
-        ServeOutcome {
-            kind: ServeKind::Miss,
-            radio_bytes,
-            service: SimDuration::ZERO,
-            recovered: true,
-        }
+        Self::miss(radio_bytes).with_flags(ServeFlags::DEGRADED)
     }
 
     /// A declined consultation.
     pub fn skipped() -> Self {
-        ServeOutcome {
-            kind: ServeKind::Skipped,
-            radio_bytes: 0,
-            service: SimDuration::ZERO,
-            recovered: false,
-        }
+        Self::base(ServeKind::Skipped, ServeSource::Local)
     }
 
     /// Attaches the simulated service time.
@@ -134,8 +254,30 @@ impl ServeOutcome {
         self
     }
 
+    /// Sets condition bits (unioned with any already present).
+    #[must_use]
+    pub fn with_flags(mut self, flags: ServeFlags) -> Self {
+        self.flags = self.flags.with(flags);
+        self
+    }
+
+    /// Whether local state was found damaged while answering.
+    pub fn is_degraded(&self) -> bool {
+        self.flags.contains(ServeFlags::DEGRADED)
+    }
+
+    /// Whether the request was answered before the radio woke — from
+    /// this device's own state *or* a cooperative peer.
+    pub fn radio_slept(&self) -> bool {
+        matches!(self.kind, ServeKind::Hit | ServeKind::StaleHit)
+    }
+
     /// Whether the request was answered from local state (a plain or
     /// stale hit).
+    #[deprecated(
+        since = "0.1.0",
+        note = "inspect `source` (and `kind`) instead; a peer hit is not local"
+    )]
     pub fn served_locally(&self) -> bool {
         matches!(self.kind, ServeKind::Hit | ServeKind::StaleHit)
     }
@@ -151,7 +293,7 @@ impl ServeOutcome {
 pub struct ServeStats {
     /// Requests served (all kinds, including skipped consultations).
     pub serves: u64,
-    /// Pure local hits.
+    /// Hits (local *and* peer-answered; see `peer_hits` for the split).
     pub hits: u64,
     /// Local answers that charged a freshness refetch.
     pub stale_hits: u64,
@@ -160,8 +302,13 @@ pub struct ServeStats {
     /// Declined consultations.
     pub skipped: u64,
     /// Outcomes that degraded to the radio after detecting damaged
-    /// local state (a subset of `misses`).
+    /// local state ([`ServeFlags::DEGRADED`]; a subset of `misses`).
     pub recovered: u64,
+    /// Hits answered by a cooperative peer ([`ServeSource::Peer`]; a
+    /// subset of `hits`).
+    pub peer_hits: u64,
+    /// Total WiFi-direct peer-link bytes across all outcomes.
+    pub peer_bytes: u64,
     /// Total radio bytes across all outcomes.
     pub radio_bytes: u64,
     /// Total simulated service time.
@@ -178,9 +325,13 @@ impl ServeStats {
             ServeKind::Miss => self.misses += 1,
             ServeKind::Skipped => self.skipped += 1,
         }
-        if outcome.recovered {
+        if outcome.is_degraded() {
             self.recovered += 1;
         }
+        if outcome.source == ServeSource::Peer {
+            self.peer_hits += 1;
+        }
+        self.peer_bytes += outcome.peer_bytes;
         self.radio_bytes += outcome.radio_bytes;
         self.busy += outcome.service;
     }
@@ -208,6 +359,16 @@ impl ServeStats {
         }
     }
 
+    /// Peer-served rate over attempted requests (0 when none) — the
+    /// fraction of this lane's answers a cooperative peer produced.
+    pub fn peer_rate(&self) -> f64 {
+        if self.attempted() == 0 {
+            0.0
+        } else {
+            self.peer_hits as f64 / self.attempted() as f64
+        }
+    }
+
     /// The counters accumulated since `earlier` was snapshotted, as a
     /// field-wise saturating difference. Both snapshots must come from
     /// the same monotone counter set for the delta to be meaningful;
@@ -222,6 +383,8 @@ impl ServeStats {
             misses: self.misses.saturating_sub(earlier.misses),
             skipped: self.skipped.saturating_sub(earlier.skipped),
             recovered: self.recovered.saturating_sub(earlier.recovered),
+            peer_hits: self.peer_hits.saturating_sub(earlier.peer_hits),
+            peer_bytes: self.peer_bytes.saturating_sub(earlier.peer_bytes),
             radio_bytes: self.radio_bytes.saturating_sub(earlier.radio_bytes),
             busy: self.busy.saturating_sub(earlier.busy),
         }
@@ -235,6 +398,8 @@ impl ServeStats {
         self.misses += other.misses;
         self.skipped += other.skipped;
         self.recovered += other.recovered;
+        self.peer_hits += other.peer_hits;
+        self.peer_bytes += other.peer_bytes;
         self.radio_bytes += other.radio_bytes;
         self.busy += other.busy;
     }
@@ -323,16 +488,23 @@ impl From<CoreError> for CloudletError {
 /// must keep `service_stats` consistent with the outcomes `serve`
 /// returned — the equivalence property tests pin each impl to its
 /// legacy serve loop.
+///
+/// The serve surface is two methods, both taking a [`ServeRequest`]:
+/// the exclusive `serve` and the read-only `try_serve_hit` fast path.
+/// The old four-method spread (`serve(key, now)` / `serve_user` /
+/// `try_serve_hit(key, now)` / `try_serve_hit_user`) collapsed into
+/// these; the `_user` forms remain for one PR as `#[deprecated]`
+/// forwarding shims so external callers migrate gradually.
 pub trait CloudletService {
     /// Short stable name for reports ("search", "web", "maps", "ads").
     fn name(&self) -> &'static str;
 
-    /// Serves one keyed request at simulated instant `now`.
+    /// Serves one keyed request.
     ///
     /// A miss is a *successful* serve (the radio answered); `Err` is
     /// reserved for requests the cloudlet cannot process at all — an
     /// unknown key, corrupted storage, a broken invariant.
-    fn serve(&mut self, key: u64, now: SimInstant) -> Result<ServeOutcome, CloudletError>;
+    fn serve(&mut self, request: &ServeRequest) -> Result<ServeOutcome, CloudletError>;
 
     /// Read-only fast path: answers the request *only* if it is a local
     /// hit that needs no mutation at all — no cache expansion, no click
@@ -351,34 +523,45 @@ pub trait CloudletService {
     ///
     /// The default declines everything, which is always correct: every
     /// cloudlet works unchanged through the exclusive path.
-    fn try_serve_hit(&self, key: u64, now: SimInstant) -> Option<ServeOutcome> {
-        let _ = (key, now);
+    fn try_serve_hit(&self, request: &ServeRequest) -> Option<ServeOutcome> {
+        let _ = request;
         None
     }
 
-    /// [`CloudletService::serve`] with the requesting user's identity.
-    ///
-    /// Most cloudlets hold one device's state and ignore the user (the
-    /// default forwards straight to `serve`). Population-scale cloudlets
-    /// (`crate::population`) carry a shared community snapshot plus
-    /// per-user personalization deltas and need to know *whose* delta a
-    /// request reads and whose click folds in. The front-end always
-    /// dispatches through this form, passing `ServeRequest::user`.
+    /// Deprecated shim for the old user-keyed serve surface; forwards
+    /// to [`CloudletService::serve`] with
+    /// [`ServeRequest::for_user`]`(user, key, now)`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `service::ServeRequest` and call `serve`"
+    )]
     fn serve_user(
         &mut self,
         user: u64,
         key: u64,
         now: SimInstant,
     ) -> Result<ServeOutcome, CloudletError> {
-        let _ = user;
-        self.serve(key, now)
+        self.serve(&ServeRequest::for_user(user, key, now))
     }
 
-    /// [`CloudletService::try_serve_hit`] with the requesting user's
-    /// identity; same contract, same default forwarding.
+    /// Deprecated shim for the old user-keyed fast path; forwards to
+    /// [`CloudletService::try_serve_hit`] with
+    /// [`ServeRequest::for_user`]`(user, key, now)`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a `service::ServeRequest` and call `try_serve_hit`"
+    )]
     fn try_serve_hit_user(&self, user: u64, key: u64, now: SimInstant) -> Option<ServeOutcome> {
-        let _ = user;
-        self.try_serve_hit(key, now)
+        self.try_serve_hit(&ServeRequest::for_user(user, key, now))
+    }
+
+    /// The key hashes this cloudlet could currently answer as local
+    /// hits, advertised to the cooperative peer tier ([`crate::peer`])
+    /// so nearby devices can build a compact summary of what this one
+    /// holds. The default opts out (an empty inventory): the cloudlet
+    /// is never consulted as a peer, which is always correct.
+    fn summary_keys(&self) -> Vec<u64> {
+        Vec::new()
     }
 
     /// Counters accumulated by `serve` since construction.
@@ -429,11 +612,11 @@ mod tests {
             "toy"
         }
 
-        fn serve(&mut self, key: u64, _now: SimInstant) -> Result<ServeOutcome, CloudletError> {
-            if key == 7 {
-                return Err(CloudletError::UnknownKey { key });
+        fn serve(&mut self, request: &ServeRequest) -> Result<ServeOutcome, CloudletError> {
+            if request.key == 7 {
+                return Err(CloudletError::UnknownKey { key: request.key });
             }
-            let outcome = if key.is_multiple_of(2) {
+            let outcome = if request.key.is_multiple_of(2) {
                 ServeOutcome::hit().with_service(SimDuration::from_micros(5))
             } else {
                 ServeOutcome::miss(100).with_service(SimDuration::from_micros(50))
@@ -457,13 +640,14 @@ mod tests {
             stats: ServeStats::default(),
         };
         for key in 0..10 {
+            let request = ServeRequest::new(key, SimInstant::ZERO);
             if key == 7 {
                 assert_eq!(
-                    svc.serve(key, SimInstant::ZERO),
+                    svc.serve(&request),
                     Err(CloudletError::UnknownKey { key: 7 })
                 );
             } else {
-                svc.serve(key, SimInstant::ZERO).expect("toy serve");
+                svc.serve(&request).expect("toy serve");
             }
         }
         let stats = svc.service_stats();
@@ -471,6 +655,7 @@ mod tests {
         assert_eq!(stats.hits, 5);
         assert_eq!(stats.misses, 4);
         assert_eq!(stats.radio_bytes, 400);
+        assert_eq!(stats.peer_hits, 0);
         assert_eq!(
             stats.busy,
             SimDuration::from_micros(5 * 5 + 4 * 50),
@@ -489,24 +674,88 @@ mod tests {
         assert_eq!(stats.skipped, 1);
         assert_eq!(stats.attempted(), 2);
         assert_eq!(stats.radio_bytes, 64);
-        assert!(ServeOutcome::stale_hit(64).served_locally());
-        assert!(!ServeOutcome::skipped().served_locally());
+        assert!(ServeOutcome::stale_hit(64).radio_slept());
+        assert!(!ServeOutcome::skipped().radio_slept());
         assert!((stats.local_rate() - 1.0).abs() < 1e-12);
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]
-    fn merge_adds_counters() {
+    fn sources_and_flags_compose() {
+        // A peer hit counts as a hit that kept the radio asleep, carries
+        // its transfer on the peer link, and is tallied separately.
+        let peer = ServeOutcome::peer_hit(512);
+        assert_eq!(peer.kind, ServeKind::Hit);
+        assert_eq!(peer.source, ServeSource::Peer);
+        assert!(peer.radio_slept());
+        assert_eq!(peer.radio_bytes, 0);
+        assert_eq!(peer.peer_bytes, 512);
+
+        // Degradation is a flag, orthogonal to kind/source.
+        let degraded = ServeOutcome::recovered_miss(128);
+        assert_eq!(degraded.kind, ServeKind::Miss);
+        assert_eq!(degraded.source, ServeSource::Radio);
+        assert!(degraded.is_degraded());
+        assert!(degraded.flags.contains(ServeFlags::DEGRADED));
+        assert!(!degraded.flags.contains(ServeFlags::RECOVERED));
+        let repaired = degraded.with_flags(ServeFlags::RECOVERED);
+        assert!(repaired.flags.contains(ServeFlags::DEGRADED));
+        assert!(repaired.flags.contains(ServeFlags::RECOVERED));
+        assert!(ServeFlags::NONE.is_empty());
+
+        let mut stats = ServeStats::default();
+        stats.record(&peer);
+        stats.record(&degraded);
+        stats.record(&ServeOutcome::hit());
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.peer_hits, 1);
+        assert_eq!(stats.peer_bytes, 512);
+        assert_eq!(stats.recovered, 1);
+        assert!((stats.peer_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_since_and_merge_cover_peer_counters() {
         let mut a = ServeStats::default();
         a.record(&ServeOutcome::hit());
+        let earlier = a;
+        a.record(&ServeOutcome::peer_hit(256));
+        let delta = a.delta_since(&earlier);
+        assert_eq!(delta.serves, 1);
+        assert_eq!(delta.peer_hits, 1);
+        assert_eq!(delta.peer_bytes, 256);
+
         let mut b = ServeStats::default();
         b.record(&ServeOutcome::miss(10).with_service(SimDuration::from_micros(3)));
         a.merge(&b);
-        assert_eq!(a.serves, 2);
-        assert_eq!(a.hits, 1);
+        assert_eq!(a.serves, 3);
+        assert_eq!(a.hits, 2);
+        assert_eq!(a.peer_hits, 1);
         assert_eq!(a.misses, 1);
         assert_eq!(a.radio_bytes, 10);
         assert_eq!(a.busy, SimDuration::from_micros(3));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_forward_to_the_unified_surface() {
+        let mut svc = ToyService {
+            stats: ServeStats::default(),
+        };
+        // The `_user` shims must produce exactly what the unified
+        // surface produces (the 256-case proptest in
+        // tests/service_equivalence.rs pins this across real cloudlets).
+        let via_shim = svc.serve_user(3, 2, SimInstant::ZERO).expect("shim serve");
+        let direct = svc
+            .serve(&ServeRequest::for_user(3, 2, SimInstant::ZERO))
+            .expect("direct serve");
+        assert_eq!(via_shim, direct);
+        assert_eq!(svc.try_serve_hit_user(3, 2, SimInstant::ZERO), None);
+        assert_eq!(ServeRequest::new(9, SimInstant::ZERO).user_or_default(), 0);
+        assert_eq!(
+            ServeRequest::for_user(5, 9, SimInstant::ZERO).user_or_default(),
+            5
+        );
     }
 
     #[test]
@@ -516,8 +765,16 @@ mod tests {
         };
         // Even keys would hit through `serve`, but the default read-only
         // fast path always punts to the exclusive path.
-        assert_eq!(svc.try_serve_hit(2, SimInstant::ZERO), None);
-        assert_eq!(svc.try_serve_hit(7, SimInstant::ZERO), None);
+        assert_eq!(
+            svc.try_serve_hit(&ServeRequest::new(2, SimInstant::ZERO)),
+            None
+        );
+        assert_eq!(
+            svc.try_serve_hit(&ServeRequest::new(7, SimInstant::ZERO)),
+            None
+        );
+        // And the default peer-summary inventory opts out.
+        assert!(svc.summary_keys().is_empty());
     }
 
     #[test]

@@ -9,8 +9,10 @@
 
 use cloudlet_core::arbiter::DemandContext;
 use cloudlet_core::coordination::{BudgetDemand, CloudletId};
-use cloudlet_core::service::{CloudletError, CloudletService, ServeOutcome, ServeStats};
-use mobsim::time::{SimDuration, SimInstant};
+use cloudlet_core::service::{
+    CloudletError, CloudletService, ServeOutcome, ServeRequest, ServeStats,
+};
+use mobsim::time::SimDuration;
 
 use crate::cloudlet::{MapsStats, PocketMaps};
 use crate::grid::TileId;
@@ -27,6 +29,8 @@ impl PocketMaps {
             misses: stats.renders - stats.instant_renders,
             skipped: 0,
             recovered: 0,
+            peer_hits: 0,
+            peer_bytes: 0,
             radio_bytes: stats.radio_bytes,
             busy: SimDuration::ZERO,
         }
@@ -38,8 +42,8 @@ impl CloudletService for PocketMaps {
         "maps"
     }
 
-    fn serve(&mut self, key: u64, _now: SimInstant) -> Result<ServeOutcome, CloudletError> {
-        let tile = TileId::from_key(key);
+    fn serve(&mut self, request: &ServeRequest) -> Result<ServeOutcome, CloudletError> {
+        let tile = TileId::from_key(request.key);
         let center = self.grid().tile_center(tile);
         let before = self.stats().radio_bytes;
         let render = self.render_viewport(center);
@@ -55,8 +59,8 @@ impl CloudletService for PocketMaps {
     /// side effects (hot-spot visit count, render counters) are
     /// deferred to the caller's accounting — the front-end's lane
     /// counters record the hit.
-    fn try_serve_hit(&self, key: u64, _now: SimInstant) -> Option<ServeOutcome> {
-        let center = self.grid().tile_center(TileId::from_key(key));
+    fn try_serve_hit(&self, request: &ServeRequest) -> Option<ServeOutcome> {
+        let center = self.grid().tile_center(TileId::from_key(request.key));
         self.viewport_cached(center).then(ServeOutcome::hit)
     }
 
@@ -94,6 +98,11 @@ mod tests {
     use super::*;
     use crate::grid::{Position, TileGrid};
     use cloudlet_core::service::ServeKind;
+    use mobsim::time::SimInstant;
+
+    fn at(key: u64) -> ServeRequest {
+        ServeRequest::new(key, SimInstant::ZERO)
+    }
 
     #[test]
     fn tile_keys_round_trip() {
@@ -121,10 +130,10 @@ mod tests {
         let home = Position::meters(1_000.0, 2_000.0);
         maps.prefetch_region(home, 3_000.0);
         let key = grid.tile_for(home).to_key();
-        let outcome = maps.serve(key, SimInstant::ZERO).expect("maps serve");
+        let outcome = maps.serve(&at(key)).expect("maps serve");
         assert_eq!(outcome.kind, ServeKind::Hit, "prefetched region is local");
         let far = TileId { x: 500, y: 500 }.to_key();
-        let outcome = maps.serve(far, SimInstant::ZERO).expect("maps serve");
+        let outcome = maps.serve(&at(far)).expect("maps serve");
         assert_eq!(outcome.kind, ServeKind::Miss);
         assert_eq!(outcome.radio_bytes, 9 * grid.tile_bytes, "3x3 cold fetch");
     }
@@ -134,7 +143,7 @@ mod tests {
         let grid = TileGrid::paper_default();
         let mut maps = PocketMaps::new(grid, 10_000_000);
         for i in 0..8i32 {
-            maps.serve(TileId { x: i / 2, y: i }.to_key(), SimInstant::ZERO)
+            maps.serve(&at(TileId { x: i / 2, y: i }.to_key()))
                 .expect("maps serve");
         }
         let legacy = maps.stats();

@@ -142,11 +142,10 @@ impl cloudlet_core::service::CloudletService for AdCloudlet {
     /// callers that know the search outcome use directly.)
     fn serve(
         &mut self,
-        key: u64,
-        _now: mobsim::time::SimInstant,
+        request: &cloudlet_core::service::ServeRequest,
     ) -> Result<cloudlet_core::service::ServeOutcome, cloudlet_core::service::CloudletError> {
         use cloudlet_core::service::ServeOutcome;
-        Ok(match AdCloudlet::serve(self, key, true) {
+        Ok(match AdCloudlet::serve(self, request.key, true) {
             AdOutcome::Hit(_) => ServeOutcome::hit(),
             AdOutcome::Miss => ServeOutcome::miss(0),
             AdOutcome::Skipped => ServeOutcome::skipped(),
@@ -161,6 +160,8 @@ impl cloudlet_core::service::CloudletService for AdCloudlet {
             misses: self.misses,
             skipped: self.skipped,
             recovered: 0,
+            peer_hits: 0,
+            peer_bytes: 0,
             radio_bytes: 0,
             busy: mobsim::time::SimDuration::ZERO,
         }

@@ -418,10 +418,9 @@ impl CloudletService for PocketSearch {
     /// own [`ServiceReport`]s, unchanged.
     fn serve(
         &mut self,
-        key: u64,
-        _now: mobsim::time::SimInstant,
+        request: &cloudlet_core::service::ServeRequest,
     ) -> Result<ServeOutcome, CloudletError> {
-        let served = PocketSearch::serve(self, key);
+        let served = PocketSearch::serve(self, request.key);
         let outcome = if served.hit {
             ServeOutcome::hit()
         } else {

@@ -356,10 +356,13 @@ impl CloudletService for SearchShard {
         "search"
     }
 
-    fn serve(&mut self, key: u64, _now: SimInstant) -> Result<ServeOutcome, CloudletError> {
+    fn serve(
+        &mut self,
+        request: &cloudlet_core::service::ServeRequest,
+    ) -> Result<ServeOutcome, CloudletError> {
         let top: Option<Vec<u64>> = self
             .table
-            .lookup(key)
+            .lookup(request.key)
             .map(|results| results.iter().take(2).map(|r| r.result_hash).collect());
         let outcome = match top {
             Some(top) => match self.db.get_many(top, &self.flash) {
@@ -380,10 +383,13 @@ impl CloudletService for SearchShard {
     /// whole hit path runs under a shared lock. Misses (and index
     /// entries whose records are gone from the database) decline to the
     /// exclusive path, which also keeps miss accounting in one place.
-    fn try_serve_hit(&self, key: u64, _now: SimInstant) -> Option<ServeOutcome> {
+    fn try_serve_hit(
+        &self,
+        request: &cloudlet_core::service::ServeRequest,
+    ) -> Option<ServeOutcome> {
         let top: Vec<u64> = self
             .table
-            .lookup(key)?
+            .lookup(request.key)?
             .iter()
             .take(2)
             .map(|r| r.result_hash)
@@ -615,7 +621,11 @@ impl ServeRouter {
         let lane = &self.lanes[lane_idx];
         let result = {
             let mut service = lane.service.lock().unwrap_or_else(PoisonError::into_inner);
-            service.serve(event.key, event.at)
+            // The router predates user-aware serving: events carry no
+            // user identity, so the request stays anonymous.
+            service.serve(&cloudlet_core::service::ServeRequest::new(
+                event.key, event.at,
+            ))
         };
         lane.counters.record(&result);
         result.map(|outcome| FleetServed {

@@ -8,8 +8,9 @@
 
 use cloudlet_core::arbiter::DemandContext;
 use cloudlet_core::coordination::{BudgetDemand, CloudletId};
-use cloudlet_core::service::{CloudletError, CloudletService, ServeOutcome, ServeStats};
-use mobsim::time::SimInstant;
+use cloudlet_core::service::{
+    CloudletError, CloudletService, ServeOutcome, ServeRequest, ServeStats,
+};
 
 use crate::cloudlet::{PocketWeb, VisitOutcome, WebStats};
 use crate::world::{PageId, WebWorld};
@@ -60,6 +61,8 @@ impl WebService {
             misses: stats.misses,
             skipped: 0,
             recovered: 0,
+            peer_hits: 0,
+            peer_bytes: 0,
             radio_bytes: stats.radio_bytes(),
             busy: mobsim::time::SimDuration::ZERO,
         }
@@ -71,13 +74,13 @@ impl CloudletService for WebService {
         "web"
     }
 
-    fn serve(&mut self, key: u64, now: SimInstant) -> Result<ServeOutcome, CloudletError> {
-        let page = u32::try_from(key)
+    fn serve(&mut self, request: &ServeRequest) -> Result<ServeOutcome, CloudletError> {
+        let page = u32::try_from(request.key)
             .ok()
             .filter(|&p| (p as usize) < self.world.pages().len())
             .map(PageId)
-            .ok_or(CloudletError::UnknownKey { key })?;
-        Ok(match self.web.visit(&self.world, page, now) {
+            .ok_or(CloudletError::UnknownKey { key: request.key })?;
+        Ok(match self.web.visit(&self.world, page, request.now) {
             VisitOutcome::InstantHit => ServeOutcome::hit(),
             VisitOutcome::StaleRefetch { bytes } => ServeOutcome::stale_hit(bytes),
             VisitOutcome::Miss { bytes } => ServeOutcome::miss(bytes),
@@ -89,13 +92,13 @@ impl CloudletService for WebService {
     /// access count, hit counter) are deferred: the front-end counts
     /// the hit, and a subscribed page's pending realtime delta is
     /// billed by the next mutating pass.
-    fn try_serve_hit(&self, key: u64, now: SimInstant) -> Option<ServeOutcome> {
-        let page = u32::try_from(key)
+    fn try_serve_hit(&self, request: &ServeRequest) -> Option<ServeOutcome> {
+        let page = u32::try_from(request.key)
             .ok()
             .filter(|&p| (p as usize) < self.world.pages().len())
             .map(PageId)?;
         self.web
-            .peek_instant(&self.world, page, now)
+            .peek_instant(&self.world, page, request.now)
             .then(ServeOutcome::hit)
     }
 
@@ -139,7 +142,7 @@ mod tests {
     use crate::policy::RefreshPolicy;
     use crate::world::WorldConfig;
     use cloudlet_core::service::ServeKind;
-    use mobsim::time::SimDuration;
+    use mobsim::time::{SimDuration, SimInstant};
 
     fn service() -> WebService {
         let world = WebWorld::generate(WorldConfig::test_scale(), 4);
@@ -147,15 +150,19 @@ mod tests {
         WebService::new(world, web)
     }
 
+    fn at(key: u64, now: SimInstant) -> ServeRequest {
+        ServeRequest::new(key, now)
+    }
+
     #[test]
     fn serve_mirrors_visit_outcomes() {
         let mut svc = service();
         let t0 = SimInstant::ZERO;
         let key = WebService::key_of(svc.world().pages()[0].id);
-        let first = svc.serve(key, t0).expect("page key is valid");
+        let first = svc.serve(&at(key, t0)).expect("page key is valid");
         assert_eq!(first.kind, ServeKind::Miss);
         assert!(first.radio_bytes > 0);
-        let again = svc.serve(key, t0).expect("page key is valid");
+        let again = svc.serve(&at(key, t0)).expect("page key is valid");
         assert_eq!(again.kind, ServeKind::Hit);
         assert_eq!(again.radio_bytes, 0);
     }
@@ -172,9 +179,13 @@ mod tests {
             .map(|p| p.id)
             .collect::<Vec<_>>()
         {
-            svc.serve(WebService::key_of(page), t).expect("valid key");
-            svc.serve(WebService::key_of(page), t + SimDuration::from_secs(60))
+            svc.serve(&at(WebService::key_of(page), t))
                 .expect("valid key");
+            svc.serve(&at(
+                WebService::key_of(page),
+                t + SimDuration::from_secs(60),
+            ))
+            .expect("valid key");
         }
         let legacy = svc.web().stats();
         let stats = svc.service_stats();
@@ -190,11 +201,11 @@ mod tests {
         let mut svc = service();
         let beyond = svc.world().pages().len() as u64;
         assert_eq!(
-            svc.serve(beyond, SimInstant::ZERO),
+            svc.serve(&at(beyond, SimInstant::ZERO)),
             Err(CloudletError::UnknownKey { key: beyond })
         );
         assert_eq!(
-            svc.serve(u64::MAX, SimInstant::ZERO),
+            svc.serve(&at(u64::MAX, SimInstant::ZERO)),
             Err(CloudletError::UnknownKey { key: u64::MAX })
         );
         assert_eq!(svc.service_stats().serves, 0, "errors are not serves");
@@ -213,7 +224,7 @@ mod tests {
     fn idle_epochs_shrink_demand_to_cached_bytes() {
         let mut svc = service();
         let key = WebService::key_of(svc.world().pages()[0].id);
-        svc.serve(key, SimInstant::ZERO).expect("valid key");
+        svc.serve(&at(key, SimInstant::ZERO)).expect("valid key");
         // Epoch 1, no observed traffic: defend only what is cached.
         let idle = svc.budget_demand(CloudletId(1), &DemandContext::equal_priority(1));
         assert_eq!(idle.demand_bytes as u64, svc.cache_bytes());

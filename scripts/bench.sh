@@ -13,6 +13,9 @@
 #   BENCH_population.json — the 1M-user streamed-day diurnal time series
 #     plus O(users) residency counters. Always runs at full scale: the
 #     million-user population is the point of the study.
+#   BENCH_peers.json    — cooperative peer cells vs the solo baseline:
+#     hit ratio, peer serves, false-positive probes, and radio vs
+#     peer-link energy across the cell-size x summary-bits x skew sweep.
 #   BENCH_hotpath.json  — wall-clock ns/lookup and qps at 1/8/32 threads,
 #     locked (OrderedRwLock) vs lock-free (AtomicTable mirror). Unlike
 #     every other artifact this one is HOST-DEPENDENT (real time, the
@@ -43,6 +46,9 @@ cargo run --release -q -p pocket-bench --bin ablations -- \
 
 cargo run --release -q -p pocket-bench --bin ablations -- \
   --study population --scale full --seed 2011 --out BENCH_population.json
+
+cargo run --release -q -p pocket-bench --bin ablations -- \
+  --study peers ${scale_flag} --seed 2011 --out BENCH_peers.json
 
 cargo run --release -q -p pocket-bench --bin ablations -- \
   --study hotpath --scale test --seed 2011 --out BENCH_hotpath.json

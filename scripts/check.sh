@@ -26,6 +26,9 @@ cargo test -q -p querylog --lib stream
 echo "==> cargo test -q -p cloudlet-core --lib hashtable::atomic (fast hot-path gate)"
 cargo test -q -p cloudlet-core --lib hashtable::atomic
 
+echo "==> cargo test -q -p cloudlet-core --lib peer (fast peer-fabric gate)"
+cargo test -q -p cloudlet-core --lib peer
+
 echo "==> cargo test -q"
 cargo test -q
 

@@ -20,7 +20,7 @@ use pocket_cloudlets::core::cache::{CacheMode, CommunityCache, PocketCache, Spli
 use pocket_cloudlets::core::hashtable::{ConflictPolicy, QueryHashTable};
 use pocket_cloudlets::core::population::{PairTable, PopulationConfig, PopulationLane};
 use pocket_cloudlets::core::ranking::RankingPolicy;
-use pocket_cloudlets::core::service::{CloudletService, ServeStats};
+use pocket_cloudlets::core::service::{CloudletService, ServeRequest, ServeStats};
 use pocket_cloudlets::core::shard::ShardedTable;
 use pocket_cloudlets::mobsim::time::SimInstant;
 
@@ -169,17 +169,18 @@ proptest! {
         let mut external = ServeStats::default();
         let now = SimInstant::ZERO;
         for (user, key) in &stream {
-            let expected = write_lane.serve_user(*user, *key, now);
-            match fast_lane.try_serve_hit_user(*user, *key, now) {
+            let request = ServeRequest::for_user(*user, *key, now);
+            let expected = write_lane.serve(&request);
+            match fast_lane.try_serve_hit(&request) {
                 Some(outcome) => {
                     // The fast path may only answer pure hits, and must
                     // answer them exactly as the write path would.
                     prop_assert_eq!(Ok(&outcome), expected.as_ref());
-                    prop_assert!(outcome.served_locally());
+                    prop_assert!(outcome.radio_slept());
                     external.record(&outcome);
                 }
                 None => {
-                    let fallback = fast_lane.serve_user(*user, *key, now);
+                    let fallback = fast_lane.serve(&request);
                     prop_assert_eq!(&fallback, &expected);
                 }
             }

@@ -15,7 +15,7 @@ use proptest::prelude::*;
 
 use pocket_cloudlets::core::contentgen::{AdmissionPolicy, CacheContents};
 use pocket_cloudlets::core::corpus::UniverseCorpus;
-use pocket_cloudlets::core::service::{CloudletService, ServeOutcome, ServeStats};
+use pocket_cloudlets::core::service::{CloudletService, ServeOutcome, ServeRequest, ServeStats};
 use pocket_cloudlets::mobsim::time::{SimDuration, SimInstant};
 use pocket_cloudlets::pocketmaps::grid::TileGrid;
 use pocket_cloudlets::pocketmaps::{PocketMaps, TileId};
@@ -94,7 +94,7 @@ proptest! {
 
         let mut unified = engine.clone();
         for &key in &keys {
-            CloudletService::serve(&mut unified, key, SimInstant::ZERO)
+            CloudletService::serve(&mut unified, &ServeRequest::new(key, SimInstant::ZERO))
                 .expect("search serve is infallible on valid state");
         }
         prop_assert_eq!(unified.service_stats(), expected);
@@ -131,7 +131,7 @@ proptest! {
         );
         for &(page, at) in &visits {
             unified
-                .serve(WebService::key_of(page), at)
+                .serve(&ServeRequest::new(WebService::key_of(page), at))
                 .expect("in-range page keys serve");
         }
 
@@ -159,7 +159,7 @@ proptest! {
 
         let mut unified = PocketMaps::new(grid, 10_000_000);
         for &tile in &tiles {
-            CloudletService::serve(&mut unified, tile.to_key(), SimInstant::ZERO)
+            CloudletService::serve(&mut unified, &ServeRequest::new(tile.to_key(), SimInstant::ZERO))
                 .expect("every u64 is a tile");
         }
 
@@ -198,7 +198,7 @@ proptest! {
             }
         }
         for &query in &queries {
-            CloudletService::serve(&mut unified, query, SimInstant::ZERO)
+            CloudletService::serve(&mut unified, &ServeRequest::new(query, SimInstant::ZERO))
                 .expect("ad serve is infallible");
         }
 
@@ -209,6 +209,77 @@ proptest! {
         prop_assert_eq!(stats.misses, misses);
         prop_assert_eq!(stats.skipped, skipped);
         prop_assert_eq!(stats.serves, queries.len() as u64);
+    }
+}
+
+proptest! {
+    /// The unified-surface migration contract: driving a cloudlet
+    /// through the deprecated `serve_user` / `try_serve_hit_user`
+    /// shims must be bit-identical — outcome for outcome, and in the
+    /// final accumulated [`ServeStats`] — to building a
+    /// [`ServeRequest`] and calling the two-method surface directly.
+    /// 256 cases, each interleaving users, cached keys, guaranteed
+    /// misses, and fast-path probes.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_are_bit_identical_to_the_unified_surface(
+        raw in proptest::collection::vec(
+            (0u64..8, any::<u64>(), any::<bool>(), any::<bool>()),
+            1..24,
+        ),
+    ) {
+        let (engine, cached) = shared_engine();
+        let world = shared_world();
+
+        // Two independent clones of each cloudlet: one driven through
+        // the old shim surface, one through the unified surface.
+        let mut search_old = engine.clone();
+        let mut search_new = engine.clone();
+        let mut web_old = WebService::new(
+            world.clone(),
+            PocketWeb::new(world, RefreshPolicy::OvernightOnly),
+        );
+        let mut web_new = web_old.clone();
+        let n_pages = world.pages().len() as u64;
+
+        for (step, &(user, selector, from_cache, probe)) in raw.iter().enumerate() {
+            let now = SimInstant::ZERO + SimDuration::from_secs(step as u64 * 90);
+            let key = if from_cache {
+                cached[(selector % cached.len() as u64) as usize]
+            } else {
+                selector | 1 << 63
+            };
+            let request = ServeRequest::for_user(user, key, now);
+
+            if probe {
+                // The read-only fast path must agree before either
+                // exclusive serve mutates anything.
+                prop_assert_eq!(
+                    search_old.try_serve_hit_user(user, key, now),
+                    search_new.try_serve_hit(&request)
+                );
+            }
+            prop_assert_eq!(
+                search_old.serve_user(user, key, now),
+                CloudletService::serve(&mut search_new, &request)
+            );
+
+            let page_key = selector % n_pages;
+            let page_request = ServeRequest::for_user(user, page_key, now);
+            if probe {
+                prop_assert_eq!(
+                    web_old.try_serve_hit_user(user, page_key, now),
+                    web_new.try_serve_hit(&page_request)
+                );
+            }
+            prop_assert_eq!(
+                web_old.serve_user(user, page_key, now),
+                web_new.serve(&page_request)
+            );
+        }
+
+        prop_assert_eq!(search_old.service_stats(), search_new.service_stats());
+        prop_assert_eq!(web_old.service_stats(), web_new.service_stats());
     }
 }
 
